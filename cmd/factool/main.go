@@ -1,0 +1,336 @@
+// Command factool explores the FACT reproduction from the command line:
+//
+//	factool chr -n 3                         # Chr s census (Figure 1a)
+//	factool adversary -n 3 -kind tres -t 1   # adversary + agreement function
+//	factool affine -n 3 -kind kof -k 1       # build R_A, print stats
+//	factool classify -n 3                    # Figure 2 census
+//	factool figures -dir out/                # regenerate all figure SVGs
+//	factool solve -n 3 -kind tres -t 1 -k 2  # FACT solvability decision
+//	factool simulate -n 3 -kind kof -k 1     # Algorithm 1 + §6 campaigns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	fact "repro"
+	"repro/internal/procs"
+	"repro/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "factool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "chr":
+		return cmdChr(args[1:])
+	case "adversary":
+		return cmdAdversary(args[1:])
+	case "affine":
+		return cmdAffine(args[1:])
+	case "classify":
+		return cmdClassify(args[1:])
+	case "figures":
+		return cmdFigures(args[1:])
+	case "solve":
+		return cmdSolve(args[1:])
+	case "simulate":
+		return cmdSimulate(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `factool — fair-adversary affine tasks toolbox
+
+subcommands:
+  chr        -n N                           Chr s census (Figure 1a)
+  adversary  -n N -kind K [flags]           adversary, α, classification
+  affine     -n N -kind K [flags]           affine task R_A stats
+  classify   -n N                           adversary census (Figure 2)
+  figures    -dir DIR                       regenerate figure SVGs
+  solve      -n N -kind K [flags] -k K'     k-set consensus solvability
+  simulate   -n N -kind K [flags]           Algorithm 1 + §6 campaigns
+
+adversary kinds (-kind): waitfree | tres (-t) | kof (-k) | fig5b
+`)
+}
+
+// adversaryFlags adds the shared adversary-selection flags.
+func adversaryFlags(fs *flag.FlagSet) (n *int, kind *string, t *int, k *int) {
+	n = fs.Int("n", 3, "number of processes")
+	kind = fs.String("kind", "tres", "adversary kind: waitfree|tres|kof|fig5b")
+	t = fs.Int("t", 1, "resilience parameter for -kind tres")
+	k = fs.Int("k", 1, "concurrency parameter for -kind kof")
+	return
+}
+
+func buildAdversary(n int, kind string, t, k int) (*fact.Adversary, error) {
+	switch kind {
+	case "waitfree":
+		return fact.WaitFree(n), nil
+	case "tres":
+		return fact.TResilient(n, t), nil
+	case "kof":
+		return fact.KObstructionFree(n, k), nil
+	case "fig5b":
+		if n != 3 {
+			return nil, fmt.Errorf("fig5b adversary is defined for n=3")
+		}
+		return fact.SupersetClosure(3, fact.SetOf(1), fact.SetOf(0, 2))
+	default:
+		return nil, fmt.Errorf("unknown adversary kind %q", kind)
+	}
+}
+
+func cmdChr(args []string) error {
+	fs := flag.NewFlagSet("chr", flag.ContinueOnError)
+	n := fs.Int("n", 3, "number of processes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("Chr s for n=%d\n", *n)
+	fmt.Printf("  facets (ordered partitions): %d\n", procs.CountOrderedPartitions(*n))
+	fmt.Printf("  vertices: %d\n", *n*(1<<uint(*n-1)))
+	fmt.Printf("  Chr² s facets: %d\n",
+		procs.CountOrderedPartitions(*n)*procs.CountOrderedPartitions(*n))
+	return nil
+}
+
+func cmdAdversary(args []string) error {
+	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
+	n, kind, t, k := adversaryFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := buildAdversary(*n, *kind, *t, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v (n=%d)\n", a, a.N())
+	fmt.Printf("  superset-closed: %v\n", a.IsSupersetClosed())
+	fmt.Printf("  symmetric:       %v\n", a.IsSymmetric())
+	fmt.Printf("  fair:            %v\n", a.IsFair())
+	fmt.Printf("  setcon:          %d\n", a.Setcon())
+	fmt.Printf("  csize:           %d\n", a.CSize())
+	fmt.Println("  agreement function:")
+	af := a.AgreementFunction()
+	keys := make([]procs.Set, 0, len(af))
+	for p := range af {
+		keys = append(keys, p)
+	}
+	procs.SortSets(keys)
+	for _, p := range keys {
+		fmt.Printf("    α(%v) = %d\n", p, af[p])
+	}
+	return nil
+}
+
+func cmdAffine(args []string) error {
+	fs := flag.NewFlagSet("affine", flag.ContinueOnError)
+	n, kind, t, k := adversaryFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := buildAdversary(*n, *kind, *t, *k)
+	if err != nil {
+		return err
+	}
+	m, err := fact.NewModel(a)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m.Stats())
+	fmt.Println("  complex:", render.ComplexStats(m.AffineTask().Complex()))
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	n := fs.Int("n", 3, "number of processes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	type row struct {
+		total, superset, symmetric, fair int
+	}
+	var r row
+	fact.EnumerateAdversaries(*n, func(a *fact.Adversary) bool {
+		r.total++
+		ss := a.IsSupersetClosed()
+		sym := a.IsSymmetric()
+		fair := a.IsFair()
+		if ss {
+			r.superset++
+		}
+		if sym {
+			r.symmetric++
+		}
+		if fair {
+			r.fair++
+		}
+		if (ss || sym) && !fair {
+			fmt.Printf("  WARNING: %v is superset/symmetric but unfair\n", a)
+		}
+		return true
+	})
+	fmt.Printf("adversary census for n=%d (Figure 2 as data)\n", *n)
+	fmt.Printf("  total adversaries:    %d\n", r.total)
+	fmt.Printf("  superset-closed:      %d\n", r.superset)
+	fmt.Printf("  symmetric:            %d\n", r.symmetric)
+	fmt.Printf("  fair:                 %d\n", r.fair)
+	return nil
+}
+
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	dir := fs.String("dir", "figures", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	oneOF := fact.KObstructionFree(3, 1)
+	fig5b, err := fact.SupersetClosure(3, fact.SetOf(1), fact.SetOf(0, 2))
+	if err != nil {
+		return err
+	}
+	tres1 := fact.TResilient(3, 1)
+	files := map[string]func() (string, error){
+		"figure1a_chr.svg": func() (string, error) {
+			return render.Chr1SVG(3), nil
+		},
+		"figure1b_r1res.svg":          modelFigure(tres1, fact.FigureAffineTask),
+		"figure4c_contention.svg":     func() (string, error) { return render.Cont2SVG(3), nil },
+		"figure5a_critical_1of.svg":   modelFigure(oneOF, fact.FigureCritical),
+		"figure5b_critical_fig5b.svg": modelFigure(fig5b, fact.FigureCritical),
+		"figure6a_conc_1of.svg":       modelFigure(oneOF, fact.FigureConcurrency),
+		"figure6b_conc_fig5b.svg":     modelFigure(fig5b, fact.FigureConcurrency),
+		"figure7a_ra_1of.svg":         modelFigure(oneOF, fact.FigureAffineTask),
+		"figure7b_ra_fig5b.svg":       modelFigure(fig5b, fact.FigureAffineTask),
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		svg, err := files[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		path := filepath.Join(*dir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func modelFigure(a *fact.Adversary, kind string) func() (string, error) {
+	return func() (string, error) {
+		m, err := fact.NewModel(a)
+		if err != nil {
+			return "", err
+		}
+		return m.FigureSVG(kind)
+	}
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	n, kind, t, k := adversaryFlags(fs)
+	kTask := fs.Int("ktask", 1, "k for k-set consensus")
+	rounds := fs.Int("rounds", 1, "maximum iterations of R_A")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := buildAdversary(*n, *kind, *t, *k)
+	if err != nil {
+		return err
+	}
+	m, err := fact.NewModel(a)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %v: setcon = %d (FACT predicts solvable ⇔ k ≥ setcon)\n", a, m.Setcon())
+	res, err := m.SolveKSetConsensus(*kTask, *rounds)
+	if err != nil {
+		return err
+	}
+	if res.Solvable {
+		fmt.Printf("%d-set consensus: SOLVABLE at ℓ=%d (map on %d vertices)\n",
+			*kTask, res.Rounds, len(res.Map))
+	} else {
+		fmt.Printf("%d-set consensus: no map up to ℓ=%d (complex sizes %v)\n",
+			*kTask, *rounds, res.ComplexSizes)
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	n, kind, t, k := adversaryFlags(fs)
+	trials := fs.Int("trials", 100, "number of random schedules")
+	seed := fs.Int64("seed", 1, "PRNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := buildAdversary(*n, *kind, *t, *k)
+	if err != nil {
+		return err
+	}
+	m, err := fact.NewModel(a)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m.Stats())
+
+	r1 := m.VerifyAlgorithmOne(*trials, *seed)
+	fmt.Printf("Algorithm 1 (Theorem 7): liveness %d/%d, safety %d/%d, mean steps %.1f\n",
+		r1.Liveness, r1.Trials, r1.Safety, r1.Trials, r1.MeanSteps)
+	if len(r1.Violations) > 0 {
+		fmt.Println("  violations:", strings.Join(r1.Violations[:minInt(3, len(r1.Violations))], "; "))
+	}
+
+	if err := m.VerifyMuQ(); err != nil {
+		fmt.Println("μ_Q properties: FAIL:", err)
+	} else {
+		fmt.Println("μ_Q properties (9, 10, 12): OK (exhaustive over facets)")
+	}
+
+	r2 := m.VerifySetConsensusSimulation(*trials, *seed)
+	fmt.Printf("§6 set-consensus simulation: %d/%d ok, max distinct decisions %d\n",
+		r2.OK, r2.Trials, r2.MaxDistinct)
+	if len(r2.Violations) > 0 {
+		fmt.Println("  violations:", strings.Join(r2.Violations[:minInt(3, len(r2.Violations))], "; "))
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubcommands(t *testing.T) {
+	cases := [][]string{
+		{"chr", "-n", "3"},
+		{"adversary", "-n", "3", "-kind", "fig5b"},
+		{"adversary", "-n", "3", "-kind", "waitfree"},
+		{"affine", "-n", "3", "-kind", "kof", "-k", "1"},
+		{"classify", "-n", "2"},
+		{"help"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"adversary", "-kind", "nonsense"},
+		{"adversary", "-n", "4", "-kind", "fig5b"}, // fig5b is n=3 only
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestFiguresWritesSVGs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"figures", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Fatalf("figure files = %d, want 9", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure1b_r1res.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Errorf("figure1b is not an SVG")
+	}
+}
+
+func TestSolveCommand(t *testing.T) {
+	if err := run([]string{"solve", "-n", "3", "-kind", "kof", "-k", "1", "-ktask", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"solve", "-n", "3", "-kind", "tres", "-t", "1", "-ktask", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateCommand(t *testing.T) {
+	if err := run([]string{"simulate", "-n", "3", "-kind", "kof", "-k", "1", "-trials", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}

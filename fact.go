@@ -1,0 +1,93 @@
+// Package fact is the public API of the reproduction of "An Asynchronous
+// Computability Theorem for Fair Adversaries" (Kuznetsov, Rieutord, He;
+// PODC 2018). It ties together the internal engines:
+//
+//   - adversaries and agreement functions (Section 3),
+//   - the standard chromatic subdivision and IIS combinatorics
+//     (Section 2),
+//   - affine tasks R_A, R_{k-OF} and R_{t-res} (Section 4),
+//   - Algorithm 1 solving R_A in the α-model (Section 5),
+//   - the μ_Q simulation of the adversarial model in R_A^* (Section 6),
+//   - the FACT solvability decision procedure (Theorem 16), and
+//   - regeneration of the paper's figures.
+//
+// The central entry point is Model: build one from an adversary and ask
+// it for its affine task, run the constructive algorithms, decide task
+// solvability, and render figures.
+package fact
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/core"
+	"repro/internal/procs"
+	"repro/internal/solver"
+	"repro/internal/tasks"
+)
+
+// Re-exported core types. The aliases make the public surface self
+// contained: examples and downstream users never import internal
+// packages.
+type (
+	// ProcID identifies a process (0-based; prints as p1..pn).
+	ProcID = procs.ID
+	// ProcSet is a set of processes.
+	ProcSet = procs.Set
+	// OrderedPartition is a one-round immediate-snapshot schedule.
+	OrderedPartition = procs.OrderedPartition
+	// Adversary is a collection of live sets (Section 3).
+	Adversary = adversary.Adversary
+	// AlphaFunc is an agreement function α: 2^Π → {0..n}.
+	AlphaFunc = adversary.AlphaFunc
+	// AffineTask is a pure sub-complex of Chr² s (Section 4).
+	AffineTask = affine.Task
+	// Run2 is a two-round IIS run (a facet of Chr² s).
+	Run2 = chromatic.Run2
+	// Task is a distributed task (I, O, Δ) (Section 2).
+	Task = tasks.Task
+	// SolveResult reports a FACT solvability decision.
+	SolveResult = solver.Result
+	// AlgOneReport aggregates an Algorithm 1 verification campaign.
+	AlgOneReport = core.AlgOneReport
+	// SetConsensusReport aggregates a Section 6 simulation campaign.
+	SetConsensusReport = core.SetConsensusReport
+	// SetConsensusSim runs α-adaptive set consensus over iterated R_A.
+	SetConsensusSim = core.SetConsensusSim
+	// SimResult is one simulated set-consensus execution.
+	SimResult = core.SimResult
+)
+
+// Adversary constructors, re-exported.
+var (
+	// NewAdversary builds an adversary from explicit live sets.
+	NewAdversary = adversary.New
+	// WaitFree is the adversary of all non-empty live sets.
+	WaitFree = adversary.WaitFree
+	// TResilient is the t-resilient adversary.
+	TResilient = adversary.TResilient
+	// KObstructionFree is the k-obstruction-free adversary.
+	KObstructionFree = adversary.KObstructionFree
+	// SupersetClosure generates a superset-closed adversary.
+	SupersetClosure = adversary.SupersetClosure
+	// SymmetricFromSizes builds a symmetric adversary from live-set sizes.
+	SymmetricFromSizes = adversary.SymmetricFromSizes
+	// EnumerateAdversaries visits every adversary over n processes.
+	EnumerateAdversaries = adversary.EnumerateAdversaries
+)
+
+// Set helpers, re-exported.
+var (
+	// SetOf builds a process set.
+	SetOf = procs.SetOf
+	// FullSet is {p1..pn}.
+	FullSet = procs.FullSet
+)
+
+// Task constructors, re-exported.
+var (
+	// KSetConsensus is the k-set consensus task with distinct inputs.
+	KSetConsensus = tasks.KSetConsensus
+	// Consensus is 1-set consensus.
+	Consensus = tasks.Consensus
+)

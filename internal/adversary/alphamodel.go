@@ -1,0 +1,48 @@
+package adversary
+
+// The α-model (Definition 3) and α-set-consensus model (Definition 4).
+
+import "repro/internal/procs"
+
+// AlphaFunc is an agreement function: subsets of Π to {0,...,n}.
+type AlphaFunc func(procs.Set) int
+
+// AlphaModel is the weakest model with agreement function α
+// (Definition 3): if P is the participating set then α(P) ≥ 1 and at
+// most α(P)−1 processes in P are faulty. By Theorems 1 and 2 it is
+// task-equivalent to the A-model of any fair adversary A with agreement
+// function α, and to the α-set-consensus model.
+type AlphaModel struct {
+	n     int
+	alpha AlphaFunc
+}
+
+// NewAlphaModel wraps an agreement function for an n-process system.
+func NewAlphaModel(n int, alpha AlphaFunc) *AlphaModel {
+	return &AlphaModel{n: n, alpha: alpha}
+}
+
+// AlphaModel derives the α-model of the adversary's agreement function.
+func (a *Adversary) AlphaModel() *AlphaModel {
+	return NewAlphaModel(a.n, a.Alpha)
+}
+
+// N returns the system size.
+func (m *AlphaModel) N() int { return m.n }
+
+// Alpha evaluates the agreement function.
+func (m *AlphaModel) Alpha(p procs.Set) int { return m.alpha(p) }
+
+// MaxFailures returns the failure budget α(P)−1 for participation P
+// (−1 when α(P) = 0, meaning P is not a permitted participation).
+func (m *AlphaModel) MaxFailures(p procs.Set) int { return m.alpha(p) - 1 }
+
+// Allows reports whether a run with participating set P and faulty set
+// F complies with the α-model.
+func (m *AlphaModel) Allows(p, f procs.Set) bool {
+	if !f.SubsetOf(p) {
+		return false
+	}
+	a := m.alpha(p)
+	return a >= 1 && f.Size() <= a-1
+}

@@ -1,0 +1,136 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/procs"
+)
+
+// randAdversary derives an adversary over 3 processes from a 7-bit mask
+// (one bit per non-empty subset of Π).
+func randAdversary(mask uint8) *Adversary {
+	subsets := procs.NonemptySubsets(procs.FullSet(3))
+	var live []procs.Set
+	for i, s := range subsets {
+		if mask&(1<<uint(i)) != 0 {
+			live = append(live, s)
+		}
+	}
+	a, err := New(3, live...)
+	if err != nil {
+		panic(err) // unreachable: inputs valid by construction
+	}
+	return a
+}
+
+// TestQuickAgreementLaws: α is monotone with bounded growth for every
+// adversary (not just fair ones).
+func TestQuickAgreementLaws(t *testing.T) {
+	f := func(mask uint8) bool {
+		a := randAdversary(mask % 128)
+		_, _, ok := a.ValidateAgreementLaws()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 128}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRestrictComposition: (A|P)|Q = A|(P∩Q).
+func TestQuickRestrictComposition(t *testing.T) {
+	f := func(mask uint8, pRaw, qRaw uint8) bool {
+		a := randAdversary(mask % 128)
+		p := procs.Set(pRaw) & procs.FullSet(3)
+		q := procs.Set(qRaw) & procs.FullSet(3)
+		left := a.Restrict(p).Restrict(q)
+		right := a.Restrict(p.Intersect(q))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSetconRestrictionMonotone: setcon(A|P) ≤ setcon(A) and
+// α(P) equals SetconOf of the restricted live sets.
+func TestQuickSetconConsistency(t *testing.T) {
+	f := func(mask uint8, pRaw uint8) bool {
+		a := randAdversary(mask % 128)
+		p := procs.Set(pRaw) & procs.FullSet(3)
+		alphaP := a.Alpha(p)
+		if alphaP > a.Setcon() {
+			return false
+		}
+		return alphaP == SetconOf(a.Restrict(p).LiveSets())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFairnessUpperBound: for any adversary and any Q ⊆ P,
+// setcon(A|P,Q) ≤ min(|Q|, setcon(A|P)) — fairness is about achieving
+// this bound, exceeding it is impossible.
+func TestQuickFairnessUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		a := randAdversary(uint8(rng.Intn(128)))
+		p := procs.Set(rng.Intn(8)) & procs.FullSet(3)
+		sub := procs.Subsets(p)
+		q := sub[rng.Intn(len(sub))]
+		got := SetconOf(a.RestrictTouching(p, q))
+		bound := q.Size()
+		if ap := a.Alpha(p); ap < bound {
+			bound = ap
+		}
+		if got > bound {
+			t.Fatalf("%v: setcon(A|%v,%v) = %d > bound %d", a, p, q, got, bound)
+		}
+	}
+}
+
+// TestQuickSupersetClosureIsClosed: the closure constructor always
+// yields a superset-closed (hence fair) adversary.
+func TestQuickSupersetClosureIsClosed(t *testing.T) {
+	f := func(gensRaw [3]uint8) bool {
+		var gens []procs.Set
+		for _, g := range gensRaw {
+			s := procs.Set(g) & procs.FullSet(3)
+			if !s.IsEmpty() {
+				gens = append(gens, s)
+			}
+		}
+		if len(gens) == 0 {
+			return true
+		}
+		a, err := SupersetClosure(3, gens...)
+		if err != nil {
+			return false
+		}
+		return a.IsSupersetClosed() && a.IsFair()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSymmetricIsFair: symmetric adversaries are fair (paper §3).
+func TestQuickSymmetricIsFair(t *testing.T) {
+	for mask := 0; mask < 8; mask++ {
+		var sizes []int
+		for k := 1; k <= 3; k++ {
+			if mask&(1<<uint(k-1)) != 0 {
+				sizes = append(sizes, k)
+			}
+		}
+		if len(sizes) == 0 {
+			continue
+		}
+		a := SymmetricFromSizes(3, sizes...)
+		if !a.IsSymmetric() || !a.IsFair() {
+			t.Fatalf("sizes %v: symmetric=%v fair=%v", sizes, a.IsSymmetric(), a.IsFair())
+		}
+	}
+}

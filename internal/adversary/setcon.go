@@ -1,0 +1,184 @@
+package adversary
+
+// Definition 1 (set-consensus power) and agreement functions.
+
+import "repro/internal/procs"
+
+// SetconOf computes setcon of an arbitrary collection of live sets
+// (Definition 1):
+//
+//	setcon(A) = 0                                          if A = ∅
+//	setcon(A) = max_{S∈A} (min_{a∈S} setcon(A|_{S\{a}})+1) otherwise
+//
+// where A|P keeps the live sets included in P. All recursive calls are
+// restrictions of the original collection, so results are memoized per
+// restriction set.
+func SetconOf(live []procs.Set) int {
+	memo := make(map[procs.Set]int)
+	var rec func(p procs.Set) int
+	rec = func(p procs.Set) int {
+		if v, ok := memo[p]; ok {
+			return v
+		}
+		best := 0
+		for _, s := range live {
+			if !s.SubsetOf(p) {
+				continue
+			}
+			// min_{a∈S} setcon(A|S\{a}) + 1
+			inner := -1
+			s.ForEach(func(a procs.ID) {
+				v := rec(s.Remove(a)) + 1
+				if inner < 0 || v < inner {
+					inner = v
+				}
+			})
+			if inner > best {
+				best = inner
+			}
+		}
+		memo[p] = best
+		return best
+	}
+	var full procs.Set
+	for _, s := range live {
+		full = full.Union(s)
+	}
+	return rec(full)
+}
+
+// Setcon returns the set-consensus power of the adversary: the smallest
+// k such that k-set consensus is solvable in the A-model.
+func (a *Adversary) Setcon() int {
+	return a.Alpha(procs.FullSet(a.n))
+}
+
+// Alpha evaluates the agreement function of the adversary at P:
+// α(P) = setcon(A|P). Memoized.
+func (a *Adversary) Alpha(p procs.Set) int {
+	if v, ok := a.alphaMemo[p]; ok {
+		return v
+	}
+	// Single shared recursion: setcon(A|P) restricted further is still a
+	// restriction of A, so one memo serves every P.
+	v := a.alphaRec(p)
+	return v
+}
+
+func (a *Adversary) alphaRec(p procs.Set) int {
+	if v, ok := a.alphaMemo[p]; ok {
+		return v
+	}
+	best := 0
+	for _, s := range a.live {
+		if !s.SubsetOf(p) {
+			continue
+		}
+		inner := -1
+		s.ForEach(func(x procs.ID) {
+			v := a.alphaRec(s.Remove(x)) + 1
+			if inner < 0 || v < inner {
+				inner = v
+			}
+		})
+		if inner > best {
+			best = inner
+		}
+	}
+	a.alphaMemo[p] = best
+	return best
+}
+
+// AgreementFunction materializes α over every subset of Π.
+func (a *Adversary) AgreementFunction() map[procs.Set]int {
+	out := make(map[procs.Set]int, 1<<uint(a.n))
+	procs.ForEachSubset(procs.FullSet(a.n), func(p procs.Set) bool {
+		out[p] = a.Alpha(p)
+		return true
+	})
+	return out
+}
+
+// ValidateAgreementLaws checks the two structural laws of agreement
+// functions stated in Section 3 — monotonicity (P ⊆ P' ⇒ α(P) ≤ α(P'))
+// and bounded growth (α(P') ≤ α(P) + |P'\P|) — plus, for fair
+// adversaries, the regularity law α(P) ≥ α(P\Q) ≥ α(P) − |Q| used by
+// Lemma 3. Returns the first violated pair, or ok=true.
+func (a *Adversary) ValidateAgreementLaws() (p, q procs.Set, ok bool) {
+	full := procs.FullSet(a.n)
+	subsets := procs.Subsets(full)
+	for _, pp := range subsets {
+		for _, qq := range subsets {
+			if !pp.SubsetOf(qq) {
+				continue
+			}
+			ap, aq := a.Alpha(pp), a.Alpha(qq)
+			if ap > aq {
+				return pp, qq, false
+			}
+			if aq > ap+qq.Diff(pp).Size() {
+				return pp, qq, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+// IsFair implements Definition 2: A is fair iff for all Q ⊆ P ⊆ Π,
+// setcon(A|P,Q) = min(|Q|, setcon(A|P)).
+func (a *Adversary) IsFair() bool {
+	_, _, fair := a.FairnessWitness()
+	return fair
+}
+
+// FairnessWitness returns a violating pair (P, Q) when the adversary is
+// unfair, or fair=true.
+func (a *Adversary) FairnessWitness() (p, q procs.Set, fair bool) {
+	full := procs.FullSet(a.n)
+	violated := false
+	var vp, vq procs.Set
+	procs.ForEachSubset(full, func(pp procs.Set) bool {
+		alphaP := a.Alpha(pp)
+		procs.ForEachSubset(pp, func(qq procs.Set) bool {
+			want := qq.Size()
+			if alphaP < want {
+				want = alphaP
+			}
+			if SetconOf(a.RestrictTouching(pp, qq)) != want {
+				violated = true
+				vp, vq = pp, qq
+				return false
+			}
+			return true
+		})
+		return !violated
+	})
+	if violated {
+		return vp, vq, false
+	}
+	return 0, 0, true
+}
+
+// EnumerateAdversaries calls f for every adversary over n processes
+// (every subset of the non-empty subsets of Π, including the empty
+// adversary). Stops early if f returns false. The count is
+// 2^(2^n - 1): 128 for n = 3 — the Figure 2 census domain.
+func EnumerateAdversaries(n int, f func(*Adversary) bool) {
+	all := procs.NonemptySubsets(procs.FullSet(n))
+	m := len(all)
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		live := make([]procs.Set, 0, m)
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				live = append(live, all[i])
+			}
+		}
+		adv, err := New(n, live...)
+		if err != nil {
+			continue // unreachable: inputs are valid by construction
+		}
+		if !f(adv) {
+			return
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package affine implements Section 4 of the paper: the 2-contention
+// complex Cont² (Definition 5), the affine task R_{k-OF} of
+// k-obstruction-freedom (Definition 6), critical simplices
+// (Definition 7), the concurrency map Conc_α (Definition 8), and the
+// affine task R_A of an arbitrary fair adversary (Definition 9), together
+// with the t-resilient affine task R_{t-res} of Saraph-Herlihy-Gafni and
+// the distribution lemmas of Section 5.3.
+package affine
+
+import (
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+	"repro/internal/sc"
+)
+
+// ContendingPair implements the pair condition of Definition 5 on raw
+// view data: processes a and b are contending when their View¹ and View²
+// are strictly ordered in opposite directions.
+//
+// View² values are compared as process sets (χ of the Chr-s carrier),
+// which is equivalent to simplex inclusion for vertices belonging to a
+// common simplex of Chr² s — the only situation Definition 5 quantifies
+// over.
+func ContendingPair(view1a, view2a, view1b, view2b procs.Set) bool {
+	return (view1a.ProperSubsetOf(view1b) && view2b.ProperSubsetOf(view2a)) ||
+		(view1b.ProperSubsetOf(view1a) && view2a.ProperSubsetOf(view2b))
+}
+
+// Contending reports whether two Chr²-s vertices are contending.
+func Contending(a, b chromatic.Vertex2) bool {
+	return ContendingPair(a.View1, a.View2, b.View1, b.View2)
+}
+
+// IsContentionSimplex reports whether every two vertices of the given
+// set are contending (Definition 5). Singletons and the empty set are
+// contention simplices vacuously.
+func IsContentionSimplex(vs []chromatic.Vertex2) bool {
+	for i := range vs {
+		for j := i + 1; j < len(vs); j++ {
+			if !Contending(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// facetContention precomputes, for one facet of Chr² s (a 2-round run
+// over ground), the set of contention sub-simplices as a bitmask table:
+// table[mask] reports whether the vertex subset indexed by mask (bit i =
+// i-th member of ground in increasing ID order) is pairwise contending.
+type facetContention struct {
+	members []procs.ID
+	table   []bool
+	// view2 of each member (χ of the round-2 carrier) and the round-2
+	// knowledge union per mask, used to compute carriers of subsets.
+	view2   map[procs.ID]procs.Set
+	unionV2 []procs.Set
+}
+
+func newFacetContention(run chromatic.Run2) *facetContention {
+	ground := run.Ground()
+	members := ground.Members()
+	m := len(members)
+	view1 := run.R1.Views()
+	view2 := make(map[procs.ID]procs.Set, m)
+	for _, p := range members {
+		v, _ := run.R2.ViewOf(p)
+		view2[p] = v
+	}
+	pair := make([][]bool, m)
+	for i := range pair {
+		pair[i] = make([]bool, m)
+		for j := range pair[i] {
+			if i != j {
+				a, b := members[i], members[j]
+				pair[i][j] = ContendingPair(view1[a], view2[a], view1[b], view2[b])
+			}
+		}
+	}
+	size := 1 << uint(m)
+	table := make([]bool, size)
+	unionV2 := make([]procs.Set, size)
+	table[0] = true
+	for mask := 1; mask < size; mask++ {
+		// last set bit index
+		last := 0
+		for (mask>>uint(last))&1 == 0 {
+			last++
+		}
+		rest := mask &^ (1 << uint(last))
+		unionV2[mask] = unionV2[rest].Union(view2[members[last]])
+		ok := table[rest]
+		if ok {
+			for i := 0; i < m && ok; i++ {
+				if rest&(1<<uint(i)) != 0 && !pair[last][i] {
+					ok = false
+				}
+			}
+		}
+		table[mask] = ok
+	}
+	return &facetContention{members: members, table: table, view2: view2, unionV2: unionV2}
+}
+
+// setOf converts a bitmask over members to a process set.
+func (fc *facetContention) setOf(mask int) procs.Set {
+	var s procs.Set
+	for i, p := range fc.members {
+		if mask&(1<<uint(i)) != 0 {
+			s = s.Add(p)
+		}
+	}
+	return s
+}
+
+// Cont2Simplices enumerates, for an n-process system, every simplex of
+// the 2-contention complex Cont² of dimension ≥ minDim, as simplices of
+// interned Chr²-s vertices (deduplicated across runs). This is the
+// Figure 4c object.
+func Cont2Simplices(u *chromatic.Universe, minDim int) []sc.Simplex {
+	seen := make(map[string]bool)
+	var out []sc.Simplex
+	full := procs.FullSet(u.N())
+	for _, ground := range procs.NonemptySubsets(full) {
+		chromatic.ForEachRun2(ground, func(run chromatic.Run2) bool {
+			fc := newFacetContention(run)
+			ids := run.FacetIDs(u)
+			m := len(fc.members)
+			for mask := 1; mask < 1<<uint(m); mask++ {
+				if !fc.table[mask] {
+					continue
+				}
+				dim := popcount(mask) - 1
+				if dim < minDim {
+					continue
+				}
+				var simplex sc.Simplex
+				for i := 0; i < m; i++ {
+					if mask&(1<<uint(i)) != 0 {
+						simplex = append(simplex, ids[i])
+					}
+				}
+				simplex = sc.NewSimplex(simplex...)
+				k := simplex.Key()
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, simplex)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,111 @@
+package affine
+
+// Mechanized checks of the distribution results of Section 5.3:
+// Lemma 3, Corollary 4 and Lemma 11. These underpin both liveness
+// (Lemma 5) and safety (Lemma 6) of Algorithm 1; experiment E14/E15
+// verifies them exhaustively for small n.
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/hitting"
+	"repro/internal/procs"
+)
+
+// criticalAtLeast returns {θ ∈ CS_α(σ) : α(χ(carrier(θ, s))) ≥ l} as a
+// family of color sets.
+func criticalAtLeast(alpha adversary.AlphaFunc, s Chr1Simplex, l int) []procs.Set {
+	var family []procs.Set
+	for _, g := range s.Groups() {
+		av := alpha(g.View)
+		if av < l {
+			continue
+		}
+		for _, theta := range procs.NonemptySubsets(g.Members) {
+			if alpha(g.View.Diff(theta)) < av {
+				family = append(family, theta)
+			}
+		}
+	}
+	return family
+}
+
+// CheckLemma3 verifies the Lemma 3 inequality for a simplex σ ∈ Chr s
+// with χ(σ) = χ(carrier(σ, s)) and a level l:
+//
+//	α(χ(σ)) − l + 1 ≤ csize({θ ∈ CS_α(σ) : α(χ(carrier(θ,s))) ≥ l}).
+//
+// It returns ok=false when the inequality fails, and skip=true when the
+// premise χ(σ) = χ(carrier(σ, s)) does not hold.
+func CheckLemma3(alpha adversary.AlphaFunc, s Chr1Simplex, l int) (ok, skip bool) {
+	if s.Procs() != s.Carrier() {
+		return true, true
+	}
+	lhs := alpha(s.Procs()) - l + 1
+	if lhs <= 0 {
+		return true, false
+	}
+	cs := hitting.Size(criticalAtLeast(alpha, s, l))
+	return lhs <= cs, false
+}
+
+// CheckCorollary4 verifies the generalized inequality for any σ ∈ Chr s:
+//
+//	α(χ(carrier(σ,s))) − l − |χ(carrier(σ,s)) \ χ(σ)| + 1
+//	    ≤ csize({θ ∈ CS_α(σ) : α(χ(carrier(θ,s))) ≥ l}).
+func CheckCorollary4(alpha adversary.AlphaFunc, s Chr1Simplex, l int) bool {
+	carrier := s.Carrier()
+	lhs := alpha(carrier) - l - carrier.Diff(s.Procs()).Size() + 1
+	if lhs <= 0 {
+		return true
+	}
+	return lhs <= hitting.Size(criticalAtLeast(alpha, s, l))
+}
+
+// CheckLemma11 verifies that any two critical simplices of σ with equal
+// agreement power share the same View¹ (carrier in s).
+func CheckLemma11(alpha adversary.AlphaFunc, s Chr1Simplex) bool {
+	groups := s.Groups()
+	// Critical groups carry the carrier; distinct critical groups with
+	// the same α(view) violate the lemma (their members' critical
+	// simplices would witness it).
+	seen := make(map[int]procs.Set)
+	for _, g := range groups {
+		av := alpha(g.View)
+		if alpha(g.View.Diff(g.Members)) >= av {
+			continue // not critical
+		}
+		if prev, ok := seen[av]; ok && prev != g.View {
+			return false
+		}
+		seen[av] = g.View
+	}
+	return true
+}
+
+// ForEachChr1Simplex enumerates every simplex of Chr s over the ground
+// set (all sub-simplices of all facets, deduplicated), calling f with
+// each. Stops early when f returns false.
+func ForEachChr1Simplex(ground procs.Set, f func(Chr1Simplex) bool) {
+	seen := make(map[string]bool)
+	for _, sub := range procs.NonemptySubsets(ground) {
+		for _, op := range procs.EnumerateOrderedPartitions(sub) {
+			views := op.Views()
+			// Every subset of the facet's vertices is a simplex.
+			for _, members := range procs.NonemptySubsets(sub) {
+				s := Chr1Simplex{Views: make(map[procs.ID]procs.Set, members.Size())}
+				key := ""
+				members.ForEach(func(q procs.ID) {
+					s.Views[q] = views[q]
+					key += q.String() + views[q].String()
+				})
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if !f(s) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package affine
+
+// The affine-task container: a pure sub-complex of Chr² s given by its
+// facets (2-round runs), with membership tests, the simplicial complex
+// realization, and the Membership predicate consumed by
+// chromatic.Tower to build iterated models L^m (Section 2, "Simplex
+// agreement and affine tasks").
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+	"repro/internal/sc"
+)
+
+// ErrEmptyTask is returned when a construction selects no facet: the
+// affine task would be empty, which Definition 9 excludes.
+var ErrEmptyTask = errors.New("affine task has no facets")
+
+// Task is an affine task L ⊆ Chr² s: a pure non-empty sub-complex of the
+// second chromatic subdivision, identified by its top-dimensional facets
+// (2-round IIS runs over the full process set).
+type Task struct {
+	Name string
+
+	n      int
+	u      *chromatic.Universe
+	facets []chromatic.Run2
+
+	keys map[string]bool // run keys of the facets
+	cplx *sc.Complex     // lazy closure of the facets
+}
+
+// NewTask builds an affine task from explicit facet runs.
+func NewTask(name string, u *chromatic.Universe, facets []chromatic.Run2) (*Task, error) {
+	if len(facets) == 0 {
+		return nil, ErrEmptyTask
+	}
+	t := &Task{
+		Name:   name,
+		n:      u.N(),
+		u:      u,
+		facets: facets,
+		keys:   make(map[string]bool, len(facets)),
+	}
+	full := procs.FullSet(u.N())
+	for _, r := range facets {
+		if err := r.Validate(full); err != nil {
+			return nil, err
+		}
+		t.keys[runKey(r)] = true
+	}
+	return t, nil
+}
+
+func runKey(r chromatic.Run2) string { return r.R1.Key() + "/" + r.R2.Key() }
+
+// N returns the number of processes.
+func (t *Task) N() int { return t.n }
+
+// Universe returns the vertex interner shared by the task's complexes.
+func (t *Task) Universe() *chromatic.Universe { return t.u }
+
+// NumFacets returns the number of top-dimensional facets.
+func (t *Task) NumFacets() int { return len(t.facets) }
+
+// Facets returns a copy of the facet runs.
+func (t *Task) Facets() []chromatic.Run2 {
+	out := make([]chromatic.Run2, len(t.facets))
+	copy(out, t.facets)
+	return out
+}
+
+// ContainsRun reports whether the full-participation run is a facet.
+func (t *Task) ContainsRun(r chromatic.Run2) bool { return t.keys[runKey(r)] }
+
+// Complex materializes the task as a simplicial complex (the closure of
+// its facets, including all boundary faces). Cached after first call.
+func (t *Task) Complex() *sc.Complex {
+	if t.cplx != nil {
+		return t.cplx
+	}
+	c := sc.NewComplex(t.n)
+	for _, r := range t.facets {
+		chromatic.AddFacetToComplex(t.u, c, r)
+	}
+	t.cplx = c
+	return c
+}
+
+// ContainsSimplex reports whether the interned vertex set is a simplex
+// of the task (a face of some facet).
+func (t *Task) ContainsSimplex(ids []sc.VertexID) bool {
+	if len(ids) == 0 {
+		return false
+	}
+	return t.Complex().Has(ids...)
+}
+
+// Membership returns the structural predicate used to apply this affine
+// task to arbitrary chromatic complexes (chromatic.Tower.Extend): a
+// 2-round run over a ground set of colors is accepted iff its simplex
+// belongs to the task.
+func (t *Task) Membership() chromatic.Membership {
+	return func(r chromatic.Run2) bool {
+		if r.Ground() == procs.FullSet(t.n) {
+			return t.keys[runKey(r)]
+		}
+		return t.ContainsSimplex(r.FacetIDs(t.u))
+	}
+}
+
+// Equal reports whether two tasks have the same facet set.
+func (t *Task) Equal(other *Task) bool {
+	if t.n != other.n || len(t.facets) != len(other.facets) {
+		return false
+	}
+	for k := range t.keys {
+		if !other.keys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// MissingFrom returns facets of t absent from other (diagnostics for
+// equality experiments). Sorted by run key.
+func (t *Task) MissingFrom(other *Task) []chromatic.Run2 {
+	var out []chromatic.Run2
+	for _, r := range t.facets {
+		if !other.keys[runKey(r)] {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return runKey(out[i]) < runKey(out[j]) })
+	return out
+}
+
+// VertexCensus returns the number of distinct vertices used by the
+// task's facets.
+func (t *Task) VertexCensus() int {
+	seen := make(map[sc.VertexID]bool)
+	for _, r := range t.facets {
+		for _, id := range r.FacetIDs(t.u) {
+			seen[id] = true
+		}
+	}
+	return len(seen)
+}
+
+// Iterate builds the m-fold iteration L^m(I) over an input complex I
+// (use the standard simplex for the affine model of Section 2) and
+// returns the tower with carrier tracking.
+func (t *Task) Iterate(input *sc.Complex, m int) (*chromatic.Tower, error) {
+	tower := chromatic.NewTower(input)
+	member := t.Membership()
+	for i := 0; i < m; i++ {
+		if err := tower.Extend(member); err != nil {
+			return nil, err
+		}
+	}
+	return tower, nil
+}

@@ -1,0 +1,72 @@
+package chromatic
+
+// Geometric realization coordinates from Appendix A: the vertex (i, t) of
+// Chr s is identified with the point
+//
+//	1/(2k-1) x_i + 2/(2k-1) Σ_{j∈t, j≠i} x_j,   k = |t|,
+//
+// in |s| ⊂ R^n. Applying the same formula one level up places Chr² s
+// vertices inside |s| too. These coordinates drive the SVG renderings of
+// the paper's figures (n = 3).
+
+import "repro/internal/procs"
+
+// Point is a barycentric coordinate vector over the n corners of s.
+type Point []float64
+
+// Corner returns the barycentric coordinates of corner i of s.
+func Corner(n int, i procs.ID) Point {
+	p := make(Point, n)
+	p[i] = 1
+	return p
+}
+
+// Coords1 returns the coordinates of the Chr-s vertex (color, view).
+func Coords1(n int, color procs.ID, view procs.Set) Point {
+	k := float64(view.Size())
+	w := 2*k - 1
+	p := make(Point, n)
+	view.ForEach(func(j procs.ID) {
+		if j == color {
+			p[j] = 1 / w
+		} else {
+			p[j] = 2 / w
+		}
+	})
+	return p
+}
+
+// Coords2 returns the coordinates of a Chr²-s vertex: the subdivision
+// formula applied to the positions of the Chr-s vertices it sees.
+func Coords2(n int, v Vertex2) Point {
+	k := float64(len(v.Content))
+	w := 2*k - 1
+	p := make(Point, n)
+	for q, view := range v.Content {
+		qp := Coords1(n, q, view)
+		coef := 2 / w
+		if q == v.Color {
+			coef = 1 / w
+		}
+		for i := range p {
+			p[i] += coef * qp[i]
+		}
+	}
+	return p
+}
+
+// Planar projects a barycentric point over 3 corners onto 2D (an
+// equilateral triangle with side 1), for rendering n = 3 figures.
+// Corner order: p1 bottom-left, p3 bottom-right, p2 top — matching the
+// paper's figures ("p2 the top vertex, p1 the bottom left vertex and p3
+// the bottom right vertex").
+func Planar(p Point) (x, y float64) {
+	if len(p) < 3 {
+		return 0, 0
+	}
+	const h = 0.8660254037844386 // sqrt(3)/2
+	// p1 -> (0,0), p3 -> (1,0), p2 -> (0.5, h).
+	x = p[2]*1 + p[1]*0.5
+	y = p[1] * h
+	return x, y
+}

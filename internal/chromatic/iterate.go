@@ -1,0 +1,240 @@
+package chromatic
+
+// Iterated application of affine tasks (and of Chr² itself) to arbitrary
+// chromatic base complexes, with carrier tracking. This powers the
+// solvability side of the FACT theorem: building R_A^ℓ(I) from an input
+// complex I and searching for a simplicial map to the output complex.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/procs"
+	"repro/internal/sc"
+)
+
+// Membership decides whether a given 2-round run (over a ground set of
+// colors) yields a simplex of the affine task L ⊆ Chr² s. The full Chr²
+// subdivision is the constant-true predicate.
+type Membership func(run Run2) bool
+
+// FullChr2Membership accepts every run: L = Chr² s.
+var FullChr2Membership Membership = func(Run2) bool { return true }
+
+// Iterated is one level of affine-task application over a base complex:
+// the sub-complex of Chr²(base) selected by the membership predicate,
+// with per-vertex carriers into the base complex.
+type Iterated struct {
+	Base    *sc.Complex
+	Complex *sc.Complex
+
+	carrier map[sc.VertexID]sc.Simplex
+	// content records, for each new vertex, its second-snapshot content
+	// in base-vertex terms: base vertex -> set of base vertices (View¹).
+	content map[sc.VertexID]map[sc.VertexID]sc.Simplex
+	interns map[string]sc.VertexID
+	next    sc.VertexID
+}
+
+// ErrNotChromaticBase is returned when the base complex is not chromatic.
+var ErrNotChromaticBase = errors.New("base complex is not chromatic")
+
+// ApplyAffine computes L(base): for every simplex σ of the base complex
+// and every 2-round run over χ(σ) accepted by member, the corresponding
+// facet of Chr²(σ) is added. Carriers of new vertices point into base.
+func ApplyAffine(base *sc.Complex, member Membership) (*Iterated, error) {
+	return applyAffineImpl(base, member)
+}
+
+// addRun interns one run's facet.
+func (it *Iterated) addRun(r Run2, byColor map[procs.ID]sc.VertexID) {
+	views1 := r.R1.Views()
+	ground := r.Ground()
+	ids := make([]sc.VertexID, 0, ground.Size())
+	ground.ForEach(func(p procs.ID) {
+		view2, _ := r.R2.ViewOf(p)
+		content := make(map[sc.VertexID]sc.Simplex, view2.Size())
+		view2.ForEach(func(q procs.ID) {
+			view := views1[q]
+			baseView := make(sc.Simplex, 0, view.Size())
+			view.ForEach(func(x procs.ID) { baseView = append(baseView, byColor[x]) })
+			content[byColor[q]] = sc.NewSimplex(baseView...)
+		})
+		ids = append(ids, it.intern(byColor[p], int(p), content))
+	})
+	_ = it.Complex.AddSimplex(ids...)
+}
+
+// intern canonicalizes a new vertex (baseVertex, content) and returns its
+// ID, registering it in the complex with its carrier.
+func (it *Iterated) intern(baseV sc.VertexID, color int, content map[sc.VertexID]sc.Simplex) sc.VertexID {
+	key := iterKey(baseV, content)
+	if id, ok := it.interns[key]; ok {
+		return id
+	}
+	id := it.next
+	it.next++
+	var carrier sc.Simplex
+	for _, view := range content {
+		carrier = carrier.Union(view)
+	}
+	it.carrier[id] = carrier
+	it.content[id] = content
+	label := fmt.Sprintf("c%d@%s", color, key)
+	_ = it.Complex.AddVertex(id, color, label)
+	it.interns[key] = id
+	return id
+}
+
+func iterKey(baseV sc.VertexID, content map[sc.VertexID]sc.Simplex) string {
+	keys := make([]sc.VertexID, 0, len(content))
+	for k := range content {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", baseV)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d:", k)
+		for _, v := range content[k] {
+			fmt.Fprintf(&b, "%d,", v)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Carrier returns the carrier of a subdivision vertex in the base
+// complex (the set of base vertices whose knowledge it transitively
+// contains).
+func (it *Iterated) Carrier(v sc.VertexID) sc.Simplex { return it.carrier[v] }
+
+// SimplexCarrier returns the carrier of a simplex: the union of the
+// carriers of its vertices.
+func (it *Iterated) SimplexCarrier(s sc.Simplex) sc.Simplex {
+	var out sc.Simplex
+	for _, v := range s {
+		out = out.Union(it.carrier[v])
+	}
+	return out
+}
+
+// Tower is an iterated application L^ℓ(I): level 0 is the input complex,
+// each Extend applies an affine task (or full Chr²) to the top.
+type Tower struct {
+	Input  *sc.Complex
+	Levels []*Iterated
+
+	rootCache map[int]map[sc.VertexID]sc.Simplex
+}
+
+// NewTower starts a tower over the given input complex.
+func NewTower(input *sc.Complex) *Tower {
+	return &Tower{Input: input, rootCache: make(map[int]map[sc.VertexID]sc.Simplex)}
+}
+
+// Top returns the current top complex (the input when no levels exist).
+func (t *Tower) Top() *sc.Complex {
+	if len(t.Levels) == 0 {
+		return t.Input
+	}
+	return t.Levels[len(t.Levels)-1].Complex
+}
+
+// Extend applies one round of the affine task to the top of the tower.
+func (t *Tower) Extend(member Membership) error {
+	it, err := applyAffineImpl(t.Top(), member)
+	if err != nil {
+		return err
+	}
+	t.Levels = append(t.Levels, it)
+	return nil
+}
+
+// Height returns the number of affine-task applications.
+func (t *Tower) Height() int { return len(t.Levels) }
+
+// RootCarrier returns the carrier of a top-level vertex all the way down
+// in the input complex.
+func (t *Tower) RootCarrier(v sc.VertexID) sc.Simplex {
+	return t.carrierAt(len(t.Levels), v)
+}
+
+// RootCarrierOf returns the root carrier of a top-level simplex.
+func (t *Tower) RootCarrierOf(s sc.Simplex) sc.Simplex {
+	var out sc.Simplex
+	for _, v := range s {
+		out = out.Union(t.RootCarrier(v))
+	}
+	return out
+}
+
+func (t *Tower) carrierAt(level int, v sc.VertexID) sc.Simplex {
+	if level == 0 {
+		return sc.Simplex{v}
+	}
+	if cached, ok := t.rootCache[level]; ok {
+		if s, ok := cached[v]; ok {
+			return s
+		}
+	} else {
+		t.rootCache[level] = make(map[sc.VertexID]sc.Simplex)
+	}
+	it := t.Levels[level-1]
+	var out sc.Simplex
+	for _, u := range it.Carrier(v) {
+		out = out.Union(t.carrierAt(level-1, u))
+	}
+	t.rootCache[level][v] = out
+	return out
+}
+
+// applyAffineImpl is the race-free implementation used by Tower.Extend
+// and (via a thin wrapper) by ApplyAffine.
+func applyAffineImpl(base *sc.Complex, member Membership) (*Iterated, error) {
+	if !base.IsChromatic() {
+		return nil, ErrNotChromaticBase
+	}
+	it := &Iterated{
+		Base:    base,
+		Complex: sc.NewComplex(base.Colors()),
+		carrier: make(map[sc.VertexID]sc.Simplex),
+		content: make(map[sc.VertexID]map[sc.VertexID]sc.Simplex),
+		interns: make(map[string]sc.VertexID),
+	}
+	seenFaces := make(map[string]bool)
+	for _, facet := range base.Facets() {
+		for _, face := range facet.Faces() {
+			fk := face.Key()
+			if seenFaces[fk] {
+				continue
+			}
+			seenFaces[fk] = true
+			byColor := make(map[procs.ID]sc.VertexID, len(face))
+			var ground procs.Set
+			chromaticFace := true
+			for _, v := range face {
+				vert, _ := base.Vertex(v)
+				p := procs.ID(vert.Color)
+				if ground.Contains(p) {
+					chromaticFace = false
+					break
+				}
+				byColor[p] = v
+				ground = ground.Add(p)
+			}
+			if !chromaticFace {
+				return nil, ErrNotChromaticBase
+			}
+			ForEachRun2(ground, func(r Run2) bool {
+				if member(r) {
+					it.addRun(r, byColor)
+				}
+				return true
+			})
+		}
+	}
+	return it, nil
+}

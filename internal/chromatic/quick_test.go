@@ -1,0 +1,137 @@
+package chromatic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/procs"
+)
+
+// randRun draws a pseudo-random full-participation 2-round run.
+func randRun(seed int64, n int) Run2 {
+	rng := rand.New(rand.NewSource(seed))
+	g := procs.FullSet(n)
+	return Run2{
+		R1: procs.RandomOrderedPartition(g, rng),
+		R2: procs.RandomOrderedPartition(g, rng),
+	}
+}
+
+// TestQuickVertex2Invariants: structural invariants of Chr² vertices
+// from arbitrary runs.
+func TestQuickVertex2Invariants(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3 + int(uint(seed)%2)
+		run := randRun(seed, n)
+		u := NewUniverse(n)
+		for _, p := range procs.FullSet(n).Members() {
+			v := u.Vertex(run.VertexOf(u, p))
+			// Self-inclusion at both levels.
+			if !v.View1.Contains(p) || !v.View2.Contains(p) {
+				return false
+			}
+			// View¹ ⊆ Carrier, and content covers exactly View².
+			if !v.View1.SubsetOf(v.Carrier) {
+				return false
+			}
+			var content procs.Set
+			var carrier procs.Set
+			for q, view := range v.Content {
+				content = content.Add(q)
+				carrier = carrier.Union(view)
+			}
+			if content != v.View2 || carrier != v.Carrier {
+				return false
+			}
+			// Round-2 knowledge includes the round-1 view of everyone
+			// seen before p in round 2... at minimum p's own View¹.
+			if !v.View1.SubsetOf(v.Carrier) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFacetIsChromaticChain: within one facet, View² values form a
+// containment chain and colors are distinct.
+func TestQuickFacetChain(t *testing.T) {
+	f := func(seed int64) bool {
+		run := randRun(seed, 3)
+		u := NewUniverse(3)
+		ids := run.FacetIDs(u)
+		for i := range ids {
+			for j := range ids {
+				vi, vj := u.Vertex(ids[i]), u.Vertex(ids[j])
+				if i != j && vi.Color == vj.Color {
+					return false
+				}
+				if !vi.View2.SubsetOf(vj.View2) && !vj.View2.SubsetOf(vi.View2) {
+					return false
+				}
+				if !vi.View1.SubsetOf(vj.View1) && !vj.View1.SubsetOf(vi.View1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCoordsBarycentric: all geometric coordinates are barycentric
+// (non-negative, summing to 1).
+func TestQuickCoordsBarycentric(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3
+		run := randRun(seed, n)
+		u := NewUniverse(n)
+		for _, id := range run.FacetIDs(u) {
+			p := Coords2(n, u.Vertex(id))
+			sum := 0.0
+			for _, x := range p {
+				if x < -1e-9 {
+					return false
+				}
+				sum += x
+			}
+			if sum < 1-1e-6 || sum > 1+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKnowledgeEqualsCarrier: the run's transitive 2-round
+// knowledge (per iis semantics recomputed here) equals the vertex
+// carrier.
+func TestQuickKnowledgeEqualsCarrier(t *testing.T) {
+	f := func(seed int64) bool {
+		run := randRun(seed, 4)
+		u := NewUniverse(4)
+		views1 := run.R1.Views()
+		for _, p := range procs.FullSet(4).Members() {
+			v := u.Vertex(run.VertexOf(u, p))
+			v2, _ := run.R2.ViewOf(p)
+			var know procs.Set
+			v2.ForEach(func(q procs.ID) { know = know.Union(views1[q]) })
+			if know != v.Carrier {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

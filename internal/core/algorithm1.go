@@ -1,0 +1,229 @@
+// Package core implements the constructive heart of the paper:
+// Algorithm 1 (solving the affine task R_A in the α-model, Section 5),
+// the α-adaptive leader-election map μ_Q (Section 6.2), and the
+// α-adaptive set-consensus simulation in iterated R_A (Section 6.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/memory"
+	"repro/internal/procs"
+	"repro/internal/sc"
+	"repro/internal/sched"
+)
+
+// Output is the result of one process's R_A invocation: its first-round
+// view and the second immediate snapshot content (process → its first
+// IS view), i.e. exactly a vertex of Chr² s.
+type Output struct {
+	View1   procs.Set
+	Content map[procs.ID]procs.Set
+}
+
+// Vertex interns the output as a Chr²-s vertex.
+func (o Output) Vertex(u *chromatic.Universe, p procs.ID) sc.VertexID {
+	return u.Intern(p, o.Content)
+}
+
+// AlgorithmOne holds the shared state of one run of Algorithm 1:
+// FirstIS/SecondIS immediate-snapshot objects, the IS1/IS2 view
+// registers, and the Conc registers (lines 1–3 of the pseudocode).
+type AlgorithmOne struct {
+	n     int
+	alpha adversary.AlphaFunc
+
+	firstIS  *memory.ImmediateSnapshot[procs.ID]
+	secondIS *memory.ImmediateSnapshot[procs.Set]
+	is1      *memory.Snapshot[procs.Set]
+	is2      *memory.Snapshot[procs.Set]
+	conc     *memory.Snapshot[int]
+
+	outputs map[procs.ID]Output
+}
+
+// NewAlgorithmOne allocates the shared objects for an n-process run.
+func NewAlgorithmOne(n int, alpha adversary.AlphaFunc) *AlgorithmOne {
+	return &AlgorithmOne{
+		n:        n,
+		alpha:    alpha,
+		firstIS:  memory.NewImmediateSnapshot[procs.ID](n),
+		secondIS: memory.NewImmediateSnapshot[procs.Set](n),
+		is1:      memory.NewSnapshot[procs.Set](n),
+		is2:      memory.NewSnapshot[procs.Set](n),
+		conc:     memory.NewSnapshot[int](n),
+		outputs:  make(map[procs.ID]Output),
+	}
+}
+
+// Outputs returns the outputs of the decided processes.
+func (a *AlgorithmOne) Outputs() map[procs.ID]Output {
+	out := make(map[procs.ID]Output, len(a.outputs))
+	for p, o := range a.outputs {
+		out[p] = o
+	}
+	return out
+}
+
+// Protocol is the per-process code of Algorithm 1 (lines 4–13).
+func (a *AlgorithmOne) Protocol(ctx *sched.Context) error {
+	p := ctx.ID()
+
+	// Line 5: IS1[i] ← FirstIS(input_i).
+	first := a.firstIS.WriteSnapshot(ctx, p, p)
+	var view1 procs.Set
+	for q := range first {
+		view1 = view1.Add(q)
+	}
+	a.is1.Update(ctx, p, view1)
+
+	// Lines 6–9: wait until crit ∨ (rank < conc).
+	alphaV1 := a.alpha(view1)
+	for {
+		is1v := a.is1.Scan(ctx)
+		is2v := a.is2.Scan(ctx)
+		concv := a.conc.Scan(ctx)
+
+		// crit: p belongs to a critical simplex (line 7).
+		var sameView procs.Set
+		for j, v := range is1v {
+			if v == view1 {
+				sameView = sameView.Add(j)
+			}
+		}
+		crit := alphaV1 > a.alpha(view1.Diff(sameView))
+
+		// rank: potentially contending unterminated processes (line 8).
+		rank := 0
+		view1.ForEach(func(j procs.ID) {
+			if _, terminated := is2v[j]; terminated {
+				return
+			}
+			if is1v[j] != view1 { // includes unwritten IS1[j] (∅ ≠ view1)
+				rank++
+			}
+		})
+
+		// conc: concurrency allowance (line 9).
+		conc := alphaV1
+		for _, c := range concv {
+			if c > conc {
+				conc = c
+			}
+		}
+
+		if crit || rank < conc {
+			break
+		}
+	}
+
+	// Line 10: IS2[i] ← SecondIS(IS1[i]).
+	second := a.secondIS.WriteSnapshot(ctx, p, view1)
+	var view2 procs.Set
+	content := make(map[procs.ID]procs.Set, len(second))
+	for q, v := range second {
+		view2 = view2.Add(q)
+		content[q] = v
+	}
+	a.is2.Update(ctx, p, view2)
+
+	// Lines 11–12: publish the concurrency level when p's critical
+	// simplex has terminated.
+	is1v := a.is1.Scan(ctx)
+	is2v := a.is2.Scan(ctx)
+	var sameViewDone procs.Set
+	for j, v := range is1v {
+		if v == view1 {
+			if _, done := is2v[j]; done {
+				sameViewDone = sameViewDone.Add(j)
+			}
+		}
+	}
+	if alphaV1 > a.alpha(view1.Diff(sameViewDone)) {
+		a.conc.Update(ctx, p, alphaV1)
+	}
+
+	// Line 13: return IS2[i]. (The scheduler serializes goroutines, so
+	// the map write is race-free.)
+	a.outputs[p] = Output{View1: view1, Content: content}
+	return nil
+}
+
+// RunConfig parameterizes one α-model run of Algorithm 1.
+type RunConfig struct {
+	N            int
+	Alpha        adversary.AlphaFunc
+	Participants procs.Set
+	KillAfter    map[procs.ID]int // crash schedule (must respect the α-model budget)
+	Seed         int64
+	MaxSteps     int
+}
+
+// RunResult reports one run.
+type RunResult struct {
+	Outputs map[procs.ID]Output
+	Decided procs.Set
+	Crashed procs.Set
+	Steps   int
+}
+
+// ErrModelViolated is returned when the failure schedule exceeds the
+// α-model budget (more than α(P)−1 scheduled crashes, or α(P) = 0).
+var ErrModelViolated = errors.New("failure schedule violates the α-model")
+
+// RunAlgorithmOne executes one scheduled run of Algorithm 1.
+func RunAlgorithmOne(cfg RunConfig) (*RunResult, error) {
+	alphaP := cfg.Alpha(cfg.Participants)
+	if alphaP < 1 || len(cfg.KillAfter) > alphaP-1 {
+		return nil, fmt.Errorf("%w: P=%v α=%d crashes=%d",
+			ErrModelViolated, cfg.Participants, alphaP, len(cfg.KillAfter))
+	}
+	alg := NewAlgorithmOne(cfg.N, cfg.Alpha)
+	res, err := sched.Run(sched.Config{
+		N:            cfg.N,
+		Participants: cfg.Participants,
+		KillAfter:    cfg.KillAfter,
+		MaxSteps:     cfg.MaxSteps,
+		Seed:         cfg.Seed,
+	}, alg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	for p, e := range res.Errs {
+		if e != nil {
+			return nil, fmt.Errorf("process %v: %w", p, e)
+		}
+	}
+	return &RunResult{
+		Outputs: alg.Outputs(),
+		Decided: res.Decided,
+		Crashed: res.Crashed,
+		Steps:   res.Steps,
+	}, nil
+}
+
+// OutputSimplex interns the decided outputs as a simplex of Chr² s.
+func (r *RunResult) OutputSimplex(u *chromatic.Universe) []sc.VertexID {
+	ids := make([]sc.VertexID, 0, len(r.Outputs))
+	for p, o := range r.Outputs {
+		ids = append(ids, o.Vertex(u, p))
+	}
+	return ids
+}
+
+// CheckSafety verifies Lemma 6 for one run: the decided outputs form a
+// simplex of the affine task.
+func (r *RunResult) CheckSafety(task *affine.Task) error {
+	if len(r.Outputs) == 0 {
+		return nil // no outputs: vacuously safe
+	}
+	ids := r.OutputSimplex(task.Universe())
+	if !task.ContainsSimplex(ids) {
+		return fmt.Errorf("outputs %v not a simplex of %s", r.Outputs, task.Name)
+	}
+	return nil
+}

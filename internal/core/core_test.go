@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+)
+
+// fixture bundles an adversary with its affine task.
+type fixture struct {
+	name  string
+	n     int
+	alpha adversary.AlphaFunc
+	task  *affine.Task
+}
+
+func buildFixtures(t *testing.T) []fixture {
+	t.Helper()
+	mk := func(name string, n int, a *adversary.Adversary) fixture {
+		u := chromatic.NewUniverse(n)
+		task, err := affine.BuildRAForAdversary(u, a, affine.DefaultVariant)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return fixture{name: name, n: n, alpha: a.Alpha, task: task}
+	}
+	fig5b, err := adversary.SupersetClosure(3, procs.SetOf(1), procs.SetOf(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []fixture{
+		mk("1-OF", 3, adversary.KObstructionFree(3, 1)),
+		mk("2-OF", 3, adversary.KObstructionFree(3, 2)),
+		mk("1-resilient", 3, adversary.TResilient(3, 1)),
+		mk("wait-free", 3, adversary.WaitFree(3)),
+		mk("fig5b", 3, fig5b),
+	}
+}
+
+// TestAlgorithmOneSolo: a single participant with α ≥ 1 runs alone and
+// outputs the solo vertex.
+func TestAlgorithmOneSolo(t *testing.T) {
+	a := adversary.KObstructionFree(3, 1)
+	res, err := RunAlgorithmOne(RunConfig{
+		N:            3,
+		Alpha:        a.Alpha,
+		Participants: procs.SetOf(1),
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := res.Outputs[1]
+	if !ok {
+		t.Fatal("p2 did not decide")
+	}
+	if out.View1 != procs.SetOf(1) || len(out.Content) != 1 || out.Content[1] != procs.SetOf(1) {
+		t.Errorf("solo output wrong: %+v", out)
+	}
+}
+
+// TestAlgorithmOneModelViolation: crash budgets beyond α(P)−1 are
+// rejected, as is participation with α(P) = 0.
+func TestAlgorithmOneModelViolation(t *testing.T) {
+	a := adversary.TResilient(3, 1) // α(Π)=2: at most 1 crash
+	_, err := RunAlgorithmOne(RunConfig{
+		N:            3,
+		Alpha:        a.Alpha,
+		Participants: procs.FullSet(3),
+		KillAfter:    map[procs.ID]int{0: 1, 1: 2},
+		Seed:         1,
+	})
+	if !errors.Is(err, ErrModelViolated) {
+		t.Errorf("want ErrModelViolated, got %v", err)
+	}
+	_, err = RunAlgorithmOne(RunConfig{
+		N:            3,
+		Alpha:        a.Alpha,
+		Participants: procs.SetOf(0), // α = 0 under 1-resilience
+		Seed:         1,
+	})
+	if !errors.Is(err, ErrModelViolated) {
+		t.Errorf("want ErrModelViolated for α=0, got %v", err)
+	}
+}
+
+// TestAlgorithmOneSafetyLiveness is experiment E10 in miniature: random
+// α-model schedules for every fixture; liveness and safety must be
+// perfect.
+func TestAlgorithmOneSafetyLiveness(t *testing.T) {
+	for _, f := range buildFixtures(t) {
+		report := CheckAlgorithmOne(f.n, f.alpha, f.task, 60, 0xC0FFEE)
+		if report.Liveness != report.Trials || report.Safety != report.Trials {
+			t.Errorf("%s: liveness %d/%d safety %d/%d; first violations: %v",
+				f.name, report.Liveness, report.Trials, report.Safety, report.Trials,
+				firstN(report.Violations, 3))
+		}
+	}
+}
+
+func firstN(v []string, n int) []string {
+	if len(v) <= n {
+		return v
+	}
+	return v[:n]
+}
+
+// TestAlgorithmOneFullParticipationOutputsFacetRun: with no failures and
+// full participation, outputs reconstruct a full facet of R_A.
+func TestAlgorithmOneFullParticipationOutputsFacetRun(t *testing.T) {
+	for _, f := range buildFixtures(t) {
+		for seed := int64(0); seed < 10; seed++ {
+			res, err := RunAlgorithmOne(RunConfig{
+				N:            f.n,
+				Alpha:        f.alpha,
+				Participants: procs.FullSet(f.n),
+				Seed:         seed,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", f.name, seed, err)
+			}
+			if len(res.Outputs) != f.n {
+				t.Fatalf("%s seed %d: %d outputs", f.name, seed, len(res.Outputs))
+			}
+			ids := res.OutputSimplex(f.task.Universe())
+			if !f.task.ContainsSimplex(ids) {
+				t.Errorf("%s seed %d: outputs not in R_A", f.name, seed)
+			}
+		}
+	}
+}
+
+// TestMuQProperties is experiment E11: Properties 9, 10 and 12 hold
+// exhaustively over the facets of R_A for every fixture.
+func TestMuQProperties(t *testing.T) {
+	for _, f := range buildFixtures(t) {
+		if err := CheckMuQValidity(f.alpha, f.task); err != nil {
+			t.Errorf("%s: validity: %v", f.name, err)
+		}
+		if err := CheckMuQAgreement(f.alpha, f.task); err != nil {
+			t.Errorf("%s: agreement: %v", f.name, err)
+		}
+		if err := CheckMuQRobustness(f.alpha, f.task); err != nil {
+			t.Errorf("%s: robustness: %v", f.name, err)
+		}
+	}
+}
+
+// TestMuQSoloVertex: a process that saw only itself elects itself.
+func TestMuQSoloVertex(t *testing.T) {
+	a := adversary.KObstructionFree(3, 1)
+	v := chromatic.Vertex2{
+		Color:   1,
+		View1:   procs.SetOf(1),
+		View2:   procs.SetOf(1),
+		Carrier: procs.SetOf(1),
+		Content: map[procs.ID]procs.Set{1: procs.SetOf(1)},
+	}
+	leader, ok := MuQ(a.Alpha, v, procs.FullSet(3))
+	if !ok || leader != 1 {
+		t.Errorf("solo leader = %v/%v, want p2", leader, ok)
+	}
+	// Q that misses every observed view: undefined.
+	if _, ok := MuQ(a.Alpha, v, procs.SetOf(0)); ok {
+		t.Errorf("μ_Q should be undefined when Q misses all views")
+	}
+}
+
+// TestSetConsensusSimulation is the Section 6.1 experiment: α-adaptive
+// set consensus holds in iterated R_A for every fixture.
+func TestSetConsensusSimulation(t *testing.T) {
+	for _, f := range buildFixtures(t) {
+		report := CheckSetConsensus(f.task, f.alpha, 80, 0xBEEF)
+		if report.OK != report.Trials {
+			t.Errorf("%s: %d/%d ok; violations: %v",
+				f.name, report.OK, report.Trials, firstN(report.Violations, 3))
+		}
+	}
+}
+
+// TestSetConsensusConsensusFor1OF: for 1-obstruction-freedom α(Π)=1, the
+// simulation must reach full consensus (1 distinct value) every time.
+func TestSetConsensusConsensusFor1OF(t *testing.T) {
+	a := adversary.KObstructionFree(3, 1)
+	u := chromatic.NewUniverse(3)
+	task, err := affine.BuildRAForAdversary(u, a, affine.DefaultVariant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSetConsensusSim(task, a.Alpha)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		proposals := map[procs.ID]string{0: "a", 1: "b", 2: "c"}
+		res, err := sim.Run(proposals, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(proposals); err != nil {
+			t.Fatal(err)
+		}
+		if res.Distinct() != 1 {
+			t.Fatalf("trial %d: consensus violated: %v", trial, res.Decisions)
+		}
+	}
+}
+
+// TestSetConsensusRejectsEmpty: no proposals is an error.
+func TestSetConsensusRejectsEmpty(t *testing.T) {
+	a := adversary.KObstructionFree(3, 1)
+	u := chromatic.NewUniverse(3)
+	task, err := affine.BuildRAForAdversary(u, a, affine.DefaultVariant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSetConsensusSim(task, a.Alpha)
+	if _, err := sim.Run(nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("empty proposals should fail")
+	}
+}
+
+// TestRestrictedFacetsShrink: facets over a sub-participation are the
+// task's boundary simplices; every returned run validates.
+func TestRestrictedFacetsShrink(t *testing.T) {
+	a := adversary.TResilient(3, 1)
+	u := chromatic.NewUniverse(3)
+	task, err := affine.BuildRAForAdversary(u, a, affine.DefaultVariant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSetConsensusSim(task, a.Alpha)
+	member := task.Membership()
+	for _, p := range procs.NonemptySubsets(procs.FullSet(3)) {
+		runs := sim.RestrictedFacets(p)
+		for _, r := range runs {
+			if r.Ground() != p {
+				t.Fatalf("run over wrong ground: %v vs %v", r.Ground(), p)
+			}
+			if !member(r) {
+				t.Fatalf("restricted facet not a member: %v", r)
+			}
+		}
+	}
+}

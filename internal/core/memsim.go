@@ -1,0 +1,242 @@
+package core
+
+// The shared-memory half of the Section 6.1 simulation: processes
+// running through iterations of R_A simulate an atomic-snapshot memory
+// in the style of Gafni-Rajsbaum "Distributed programming with tasks"
+// (the paper's reference [16]).
+//
+// Every process always has a pending write (sequence-numbered; the
+// paper's convention "if there is nothing to write, the process
+// rewrites its last written value"). The full-information iterations
+// maintain, per process,
+//
+//   - Vec:  the merged memory state (per-process max sequence seen), and
+//   - Obs:  for each other process, the latest Vec it was seen holding —
+//     the two-level knowledge needed to decide write completion.
+//
+// A pending write of p completes at an iteration where every process in
+// p's current view is known to have seen it (then no process can later
+// take a snapshot missing it without seeing p again); p then takes a
+// snapshot (its current Vec) and issues the next write. "Fast" processes
+// (never seen by anyone) complete writes immediately after their view
+// confirms them; "slow" processes may starve while fast ones are active
+// — the lock-free progress of the paper, resolved there by terminated
+// processes switching to ⊥ inputs.
+//
+// The executable validation checks the safety skeleton of the
+// simulation (see MemSimResult.Validate): snapshot self-inclusion,
+// per-process monotonicity, within-iteration chain ordering (the order
+// the linearization argument uses), and reads-from validity. The full
+// linearizability argument is Section 6.3's proof; these are its
+// checkable load-bearing invariants.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/procs"
+)
+
+// memVec is a per-process sequence vector: v[q] = highest write of q
+// known.
+type memVec map[procs.ID]int
+
+func (v memVec) clone() memVec {
+	out := make(memVec, len(v))
+	for q, s := range v {
+		out[q] = s
+	}
+	return out
+}
+
+func (v memVec) mergeFrom(w memVec) {
+	for q, s := range w {
+		if s > v[q] {
+			v[q] = s
+		}
+	}
+}
+
+// leq reports componentwise v ≤ w.
+func (v memVec) leq(w memVec) bool {
+	for q, s := range v {
+		if s > w[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotEvent is one completed simulated snapshot.
+type SnapshotEvent struct {
+	Proc      procs.ID
+	Iteration int
+	ViewSize  int    // |χ(carrier)| of the vertex at that iteration
+	WriteSeq  int    // the write this snapshot completed (own component)
+	Vec       memVec // the returned memory state
+}
+
+// MemSimResult collects a simulated execution's events.
+type MemSimResult struct {
+	Snapshots  []SnapshotEvent
+	Iterations int
+	// IssuedSeq is the highest write each process issued.
+	IssuedSeq map[procs.ID]int
+}
+
+// MemorySim simulates atomic-snapshot memory over iterations of an
+// affine task.
+type MemorySim struct {
+	task  *affine.Task
+	alpha adversary.AlphaFunc
+	sim   *SetConsensusSim // reused for restricted facet enumeration
+}
+
+// NewMemorySim builds a memory simulation over the affine task.
+func NewMemorySim(task *affine.Task, alpha adversary.AlphaFunc) *MemorySim {
+	return &MemorySim{task: task, alpha: alpha, sim: NewSetConsensusSim(task, alpha)}
+}
+
+// ErrNoParticipants is returned for an empty participant set.
+var ErrNoParticipants = errors.New("memory simulation requires participants")
+
+// pstate is one process's simulation state.
+type pstate struct {
+	vec     memVec
+	obs     map[procs.ID]memVec // q -> q's Vec as last seen
+	pending int                 // sequence of the in-flight write
+}
+
+// Run simulates `iterations` rounds of the affine task over the given
+// participants, every process repeatedly writing and snapshotting.
+func (m *MemorySim) Run(participants procs.Set, iterations int, rng *rand.Rand) (*MemSimResult, error) {
+	if participants.IsEmpty() {
+		return nil, ErrNoParticipants
+	}
+	runs := m.sim.RestrictedFacets(participants)
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%w: P=%v", ErrNoFacets, participants)
+	}
+	states := make(map[procs.ID]*pstate, participants.Size())
+	participants.ForEach(func(p procs.ID) {
+		st := &pstate{
+			vec:     memVec{p: 1}, // first write is in flight immediately
+			obs:     make(map[procs.ID]memVec),
+			pending: 1,
+		}
+		states[p] = st
+	})
+	res := &MemSimResult{
+		Iterations: iterations,
+		IssuedSeq:  make(map[procs.ID]int, participants.Size()),
+	}
+	u := m.task.Universe()
+	for iter := 1; iter <= iterations; iter++ {
+		run := runs[rng.Intn(len(runs))]
+		// Post the entering states, then merge per the run's views
+		// (everyone reads the same posted states: IIS semantics).
+		posted := make(map[procs.ID]*pstate, len(states))
+		for p, st := range states {
+			posted[p] = &pstate{vec: st.vec.clone(), obs: st.obs, pending: st.pending}
+		}
+		participants.ForEach(func(p procs.ID) {
+			st := states[p]
+			v := u.Vertex(run.VertexOf(u, p))
+			seen := v.Carrier // transitive knowledge through both IS rounds
+			seen.ForEach(func(q procs.ID) {
+				if q == p {
+					return
+				}
+				qs := posted[q]
+				st.vec.mergeFrom(qs.vec)
+				// Two-level knowledge: q's posted Vec is what q had
+				// seen entering this iteration.
+				if prev, ok := st.obs[q]; ok {
+					prev.mergeFrom(qs.vec)
+				} else {
+					st.obs[q] = qs.vec.clone()
+				}
+			})
+			// Write completion: every process currently visible has
+			// been seen holding p's pending write.
+			complete := true
+			seen.ForEach(func(q procs.ID) {
+				if q == p {
+					return
+				}
+				ov, ok := st.obs[q]
+				if !ok || ov[p] < st.pending {
+					complete = false
+				}
+			})
+			if complete {
+				res.Snapshots = append(res.Snapshots, SnapshotEvent{
+					Proc:      p,
+					Iteration: iter,
+					ViewSize:  seen.Size(),
+					WriteSeq:  st.pending,
+					Vec:       st.vec.clone(),
+				})
+				res.IssuedSeq[p] = st.pending
+				st.pending++
+				st.vec[p] = st.pending // next write goes in flight
+			}
+		})
+	}
+	return res, nil
+}
+
+// Validate checks the safety skeleton of the simulated memory:
+//
+//  1. self-inclusion: each snapshot contains the write it completed;
+//  2. per-process monotonicity: successive snapshots of one process are
+//     componentwise non-decreasing;
+//  3. within-iteration chain: snapshots taken in the same iteration are
+//     totally ordered by view size and componentwise comparable in that
+//     order (the ordering the linearization argument relies on);
+//  4. reads-from validity: no component exceeds the writer's in-flight
+//     sequence at that time.
+func (r *MemSimResult) Validate() error {
+	last := make(map[procs.ID]memVec)
+	byIter := make(map[int][]SnapshotEvent)
+	for _, ev := range r.Snapshots {
+		if ev.Vec[ev.Proc] < ev.WriteSeq {
+			return fmt.Errorf("snapshot of %v at iter %d misses own write %d",
+				ev.Proc, ev.Iteration, ev.WriteSeq)
+		}
+		if prev, ok := last[ev.Proc]; ok && !prev.leq(ev.Vec) {
+			return fmt.Errorf("%v snapshots not monotone at iter %d", ev.Proc, ev.Iteration)
+		}
+		last[ev.Proc] = ev.Vec
+		byIter[ev.Iteration] = append(byIter[ev.Iteration], ev)
+	}
+	for iter, evs := range byIter {
+		for i := range evs {
+			for j := range evs {
+				if evs[i].ViewSize <= evs[j].ViewSize {
+					continue
+				}
+				// Larger view must dominate smaller view's snapshot.
+				if !evs[j].Vec.leq(evs[i].Vec) {
+					return fmt.Errorf("iteration %d: snapshots of %v and %v incomparable",
+						iter, evs[i].Proc, evs[j].Proc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CompletedWrites returns how many writes each process completed — the
+// progress measure (fast processes complete many; slow ones may be
+// starved under lock-freedom).
+func (r *MemSimResult) CompletedWrites() map[procs.ID]int {
+	out := make(map[procs.ID]int, len(r.IssuedSeq))
+	for p, s := range r.IssuedSeq {
+		out[p] = s
+	}
+	return out
+}

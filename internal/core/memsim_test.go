@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+)
+
+func memFixture(t *testing.T, a *adversary.Adversary) *MemorySim {
+	t.Helper()
+	u := chromatic.NewUniverse(a.N())
+	ra, err := affine.BuildRAForAdversary(u, a, affine.DefaultVariant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewMemorySim(ra, a.Alpha)
+}
+
+// TestMemorySimSafety: the simulated atomic-snapshot memory satisfies
+// its safety skeleton over many random iterated-R_A executions, for a
+// battery of fair models.
+func TestMemorySimSafety(t *testing.T) {
+	advs := []*adversary.Adversary{
+		adversary.KObstructionFree(3, 1),
+		adversary.TResilient(3, 1),
+		adversary.WaitFree(3),
+	}
+	for _, a := range advs {
+		sim := memFixture(t, a)
+		rng := rand.New(rand.NewSource(17))
+		for trial := 0; trial < 25; trial++ {
+			res, err := sim.Run(procs.FullSet(3), 40, rng)
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			if err := res.Validate(); err != nil {
+				t.Fatalf("%v trial %d: %v", a, trial, err)
+			}
+		}
+	}
+}
+
+// TestMemorySimProgress: someone always makes progress (lock-freedom):
+// across a long run the total number of completed writes grows.
+func TestMemorySimProgress(t *testing.T) {
+	sim := memFixture(t, adversary.TResilient(3, 1))
+	rng := rand.New(rand.NewSource(3))
+	res, err := sim.Run(procs.FullSet(3), 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.CompletedWrites() {
+		total += c
+	}
+	if total < 50 {
+		t.Fatalf("too little progress: %d completed writes in 200 iterations (%v)",
+			total, res.CompletedWrites())
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemorySimPartialParticipation: the simulation works over proper
+// participation subsets (boundary facets of R_A).
+func TestMemorySimPartialParticipation(t *testing.T) {
+	sim := memFixture(t, adversary.KObstructionFree(3, 1))
+	rng := rand.New(rand.NewSource(5))
+	res, err := sim.Run(procs.SetOf(0, 2), 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Snapshots {
+		if ev.Vec[1] != 0 {
+			t.Fatalf("non-participant appeared in a snapshot: %+v", ev)
+		}
+	}
+}
+
+// TestMemorySimErrors: configuration errors are reported.
+func TestMemorySimErrors(t *testing.T) {
+	sim := memFixture(t, adversary.KObstructionFree(3, 1))
+	rng := rand.New(rand.NewSource(1))
+	if _, err := sim.Run(procs.EmptySet, 10, rng); err == nil {
+		t.Errorf("empty participants must fail")
+	}
+}
+
+// TestMemVecOps covers the vector lattice helpers.
+func TestMemVecOps(t *testing.T) {
+	a := memVec{0: 1, 1: 2}
+	b := a.clone()
+	b.mergeFrom(memVec{1: 5, 2: 1})
+	if b[0] != 1 || b[1] != 5 || b[2] != 1 {
+		t.Errorf("merge wrong: %v", b)
+	}
+	if a[1] != 2 {
+		t.Errorf("clone aliased")
+	}
+	if !a.leq(b) || b.leq(a) {
+		t.Errorf("leq wrong")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+// The α-adaptive leader-election map μ_Q of Section 6.2, together with
+// checkable forms of its three properties (Validity 9, Agreement 10,
+// Robustness 12). μ_Q assigns to every R_A vertex of a process in Q a
+// leader from Q observed in that iteration, with the number of distinct
+// leaders bounded by the agreement power of the witnessed participation.
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+)
+
+// MuQ computes μ_Q(v) for a Chr²-s vertex v (its Content is the simplex
+// carrier(v, Chr s)). Q is the set of processes that may participate in
+// the agreement and have not terminated. ok is false when no observed
+// View¹ intersects Q (cannot happen when χ(v) ∈ Q, by Property 9).
+func MuQ(alpha adversary.AlphaFunc, v chromatic.Vertex2, q procs.Set) (procs.ID, bool) {
+	ctx := affine.Chr1Simplex{Views: v.Content}
+	info := affine.Critical(alpha, ctx)
+	if info.CSV.Intersects(q) {
+		// δ_Q: the smallest critical-simplex View¹ intersecting Q.
+		// Critical groups are ordered by view size (IS containment), so
+		// the first intersecting one is minimal.
+		for _, g := range info.CriticalGroups {
+			if g.View.Intersects(q) {
+				leader, _ := g.View.Intersect(q).Min()
+				return leader, true
+			}
+		}
+	}
+	// γ_Q: the smallest observed View¹ intersecting Q.
+	var best procs.Set
+	found := false
+	for _, view := range v.Content {
+		if !view.Intersects(q) {
+			continue
+		}
+		if !found || view.Size() < best.Size() {
+			best = view
+			found = true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	leader, _ := best.Intersect(q).Min()
+	return leader, true
+}
+
+// CheckMuQValidity verifies Property 9 on every facet of the task: for
+// every vertex v with χ(v) ∈ Q, μ_Q(v) ∈ χ(carrier(v, s)) ∩ Q.
+func CheckMuQValidity(alpha adversary.AlphaFunc, task *affine.Task) error {
+	u := task.Universe()
+	full := procs.FullSet(task.N())
+	for _, run := range task.Facets() {
+		for _, id := range run.FacetIDs(u) {
+			v := u.Vertex(id)
+			for _, q := range procs.NonemptySubsets(full) {
+				if !q.Contains(v.Color) {
+					continue
+				}
+				leader, ok := MuQ(alpha, v, q)
+				if !ok {
+					return fmt.Errorf("μ_Q undefined at %v Q=%v", u.Label(id), q)
+				}
+				if !v.Carrier.Contains(leader) || !q.Contains(leader) {
+					return fmt.Errorf("μ_Q(%v, Q=%v) = %v ∉ carrier ∩ Q",
+						u.Label(id), q, leader)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMuQAgreement verifies Property 10 on every facet σ of the task:
+// for every Q and every θ ⊆ σ with χ(θ) ⊆ Q, the number of distinct
+// leaders over θ is at most α(χ(carrier(θ, s))).
+func CheckMuQAgreement(alpha adversary.AlphaFunc, task *affine.Task) error {
+	u := task.Universe()
+	full := procs.FullSet(task.N())
+	for _, run := range task.Facets() {
+		ids := run.FacetIDs(u)
+		verts := make([]chromatic.Vertex2, len(ids))
+		for i, id := range ids {
+			verts[i] = u.Vertex(id)
+		}
+		for _, q := range procs.NonemptySubsets(full) {
+			// Leaders for the vertices with colors in Q.
+			leaders := make(map[procs.ID]procs.ID)
+			for _, v := range verts {
+				if !q.Contains(v.Color) {
+					continue
+				}
+				l, ok := MuQ(alpha, v, q)
+				if !ok {
+					return fmt.Errorf("μ_Q undefined at color %v Q=%v", v.Color, q)
+				}
+				leaders[v.Color] = l
+			}
+			// Every θ ⊆ σ with χ(θ) ⊆ Q.
+			for _, theta := range procs.NonemptySubsets(q) {
+				distinct := make(map[procs.ID]bool)
+				var carrier procs.Set
+				complete := true
+				theta.ForEach(func(p procs.ID) {
+					found := false
+					for _, v := range verts {
+						if v.Color == p {
+							distinct[leaders[p]] = true
+							carrier = carrier.Union(v.Carrier)
+							found = true
+						}
+					}
+					if !found {
+						complete = false
+					}
+				})
+				if !complete {
+					continue
+				}
+				if len(distinct) > alpha(carrier) {
+					return fmt.Errorf("run %v Q=%v θ=%v: %d leaders > α(%v)=%d",
+						run, q, theta, len(distinct), carrier, alpha(carrier))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMuQRobustness verifies Property 12 on every facet vertex: μ_Q(v)
+// only depends on Q ∩ χ(carrier(v, s)).
+func CheckMuQRobustness(alpha adversary.AlphaFunc, task *affine.Task) error {
+	u := task.Universe()
+	full := procs.FullSet(task.N())
+	for _, run := range task.Facets() {
+		for _, id := range run.FacetIDs(u) {
+			v := u.Vertex(id)
+			for _, q := range procs.NonemptySubsets(full) {
+				l1, ok1 := MuQ(alpha, v, q)
+				l2, ok2 := MuQ(alpha, v, q.Intersect(v.Carrier))
+				if ok1 != ok2 || (ok1 && l1 != l2) {
+					return fmt.Errorf("robustness fails at %v Q=%v: %v/%v vs %v/%v",
+						u.Label(id), q, l1, ok1, l2, ok2)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package core
+
+// The α-adaptive set-consensus simulation in R_A^* (Section 6.1): every
+// process proceeds through iterations of the affine task, adopting the
+// decision estimate of its μ_Q leader each round; terminated processes
+// submit ⊥ (they drop out of Q), and the remaining processes continue.
+// Validity and α-agreement follow from Properties 9, 10 and 12 and are
+// asserted by the experiments built on this type.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+)
+
+// Simulation errors.
+var (
+	ErrNoFacets       = errors.New("affine task has no facets over the participating set")
+	ErrNotParticipant = errors.New("proposal from non-participating process")
+)
+
+// SetConsensusSim runs α-adaptive set consensus over iterations of an
+// affine task restricted to a fixed participating set.
+type SetConsensusSim struct {
+	task  *affine.Task
+	alpha adversary.AlphaFunc
+
+	// restricted facet cache per participating set
+	restricted map[procs.Set][]chromatic.Run2
+}
+
+// NewSetConsensusSim prepares a simulation over the given affine task.
+func NewSetConsensusSim(task *affine.Task, alpha adversary.AlphaFunc) *SetConsensusSim {
+	return &SetConsensusSim{
+		task:       task,
+		alpha:      alpha,
+		restricted: make(map[procs.Set][]chromatic.Run2),
+	}
+}
+
+// RestrictedFacets enumerates the runs over the participating set whose
+// simplices belong to the task: the facets of L ∩ Chr²(P). Cached.
+func (s *SetConsensusSim) RestrictedFacets(p procs.Set) []chromatic.Run2 {
+	if runs, ok := s.restricted[p]; ok {
+		return runs
+	}
+	var runs []chromatic.Run2
+	member := s.task.Membership()
+	chromatic.ForEachRun2(p, func(r chromatic.Run2) bool {
+		if member(r) {
+			runs = append(runs, r)
+		}
+		return true
+	})
+	s.restricted[p] = runs
+	return runs
+}
+
+// SimResult reports one simulated execution.
+type SimResult struct {
+	Decisions  map[procs.ID]string // final decision per participant
+	DecidedAt  map[procs.ID]int    // iteration at which each decided
+	Iterations int                 // total iterations executed
+	MaxAlpha   int                 // α(P) — the agreement bound
+}
+
+// Distinct returns the number of distinct decided values.
+func (r *SimResult) Distinct() int {
+	set := make(map[string]bool, len(r.Decisions))
+	for _, v := range r.Decisions {
+		set[v] = true
+	}
+	return len(set)
+}
+
+// Run executes the simulation: participants propose, then iterate the
+// affine task; in every iteration each still-active process adopts the
+// estimate of its μ_Q leader (Q = active processes); each process
+// decides at a per-process random iteration ≥ 2 (after every observed
+// process carries an estimate) and then drops to ⊥ inputs, shrinking Q.
+func (s *SetConsensusSim) Run(proposals map[procs.ID]string, rng *rand.Rand) (*SimResult, error) {
+	var participants procs.Set
+	for p := range proposals {
+		participants = participants.Add(p)
+	}
+	if participants.IsEmpty() {
+		return nil, ErrNotParticipant
+	}
+	estimates := make(map[procs.ID]string, len(proposals))
+	for p, v := range proposals {
+		estimates[p] = v
+	}
+	res := &SimResult{
+		Decisions: make(map[procs.ID]string),
+		DecidedAt: make(map[procs.ID]int),
+		MaxAlpha:  s.alpha(participants),
+	}
+	// Per-process decision iteration: 2 + geometric-ish jitter.
+	decideAt := make(map[procs.ID]int)
+	participants.ForEach(func(p procs.ID) { decideAt[p] = 2 + rng.Intn(3) })
+
+	// All participants keep moving through the IIS iterations forever
+	// (terminated ones submit ⊥, per Section 6.1); only the
+	// leader-eligible set Q shrinks as processes decide.
+	runs := s.RestrictedFacets(participants)
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%w: P=%v", ErrNoFacets, participants)
+	}
+	active := participants
+	for iter := 1; !active.IsEmpty(); iter++ {
+		res.Iterations = iter
+		run := runs[rng.Intn(len(runs))]
+		// Compute all adoptions against the pre-iteration estimates
+		// (processes move through the iteration "simultaneously").
+		newEst := make(map[procs.ID]string, active.Size())
+		var iterErr error
+		active.ForEach(func(p procs.ID) {
+			if iterErr != nil {
+				return
+			}
+			v := s.task.Universe().Vertex(run.VertexOf(s.task.Universe(), p))
+			leader, ok := MuQ(s.alpha, v, active)
+			if !ok {
+				iterErr = fmt.Errorf("μ_Q undefined for %v in %v", p, run)
+				return
+			}
+			newEst[p] = estimates[leader]
+		})
+		if iterErr != nil {
+			return nil, iterErr
+		}
+		for p, v := range newEst {
+			estimates[p] = v
+		}
+		// Decisions: processes whose decision iteration arrived decide
+		// and leave (their further inputs are ⊥, shrinking Q).
+		active.ForEach(func(p procs.ID) {
+			if iter >= decideAt[p] {
+				res.Decisions[p] = estimates[p]
+				res.DecidedAt[p] = iter
+				active = active.Remove(p)
+			}
+		})
+	}
+	return res, nil
+}
+
+// Validate checks validity (every decision is a proposal) and
+// α-agreement (distinct decisions ≤ α(P)) for a finished run.
+func (r *SimResult) Validate(proposals map[procs.ID]string) error {
+	proposed := make(map[string]bool, len(proposals))
+	for _, v := range proposals {
+		proposed[v] = true
+	}
+	for p, v := range r.Decisions {
+		if !proposed[v] {
+			return fmt.Errorf("process %v decided non-proposed value %q", p, v)
+		}
+	}
+	if d := r.Distinct(); d > r.MaxAlpha {
+		return fmt.Errorf("α-agreement violated: %d distinct > α = %d", d, r.MaxAlpha)
+	}
+	if len(r.Decisions) != len(proposals) {
+		return fmt.Errorf("termination violated: %d of %d decided",
+			len(r.Decisions), len(proposals))
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package hitting computes exact minimal hitting sets of set families.
+//
+// The minimal hitting set size csize(Q) is central to the paper: for a
+// superset-closed adversary A, setcon(A) = csize(A) (Gafni-Kuznetsov), and
+// the liveness/safety proofs of Algorithm 1 (Lemma 3, Corollary 4) bound
+// the distribution of critical simplices via csize.
+package hitting
+
+import "repro/internal/procs"
+
+// Size returns csize(family): the size of a smallest set H that
+// intersects every member of the family. By convention:
+//   - csize of an empty family is 0 (nothing to hit);
+//   - if the family contains the empty set, no hitting set exists and
+//     Size returns -1.
+func Size(family []procs.Set) int {
+	for _, s := range family {
+		if s.IsEmpty() {
+			return -1
+		}
+	}
+	reduced := reduce(family)
+	if len(reduced) == 0 {
+		return 0
+	}
+	best := upperBound(reduced)
+	return branch(reduced, 0, best)
+}
+
+// Hit returns one minimum hitting set (and its size). The second return
+// is false when no hitting set exists (family contains the empty set).
+func Hit(family []procs.Set) (procs.Set, bool) {
+	for _, s := range family {
+		if s.IsEmpty() {
+			return 0, false
+		}
+	}
+	reduced := reduce(family)
+	if len(reduced) == 0 {
+		return 0, true
+	}
+	target := Size(family)
+	var universe procs.Set
+	for _, s := range reduced {
+		universe = universe.Union(s)
+	}
+	var found procs.Set
+	var search func(h procs.Set, rest []procs.Set) bool
+	search = func(h procs.Set, rest []procs.Set) bool {
+		if h.Size() > target {
+			return false
+		}
+		idx := firstUnhit(rest, h)
+		if idx < 0 {
+			found = h
+			return true
+		}
+		hit := false
+		rest[idx].ForEach(func(p procs.ID) {
+			if hit {
+				return
+			}
+			if search(h.Add(p), rest) {
+				hit = true
+			}
+		})
+		return hit
+	}
+	_ = universe
+	if search(0, reduced) {
+		return found, true
+	}
+	return 0, true
+}
+
+// IsHittingSet reports whether h intersects every member of the family.
+func IsHittingSet(h procs.Set, family []procs.Set) bool {
+	for _, s := range family {
+		if !h.Intersects(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// reduce removes supersets of other members: a set that contains another
+// member is hit whenever the smaller one is, so it is redundant.
+func reduce(family []procs.Set) []procs.Set {
+	out := make([]procs.Set, 0, len(family))
+	for i, s := range family {
+		redundant := false
+		for j, t := range family {
+			if i == j {
+				continue
+			}
+			if t.SubsetOf(s) && (t != s || j < i) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// upperBound is a greedy hitting-set size, used to prune branch().
+func upperBound(family []procs.Set) int {
+	remaining := make([]procs.Set, len(family))
+	copy(remaining, family)
+	size := 0
+	for len(remaining) > 0 {
+		// Pick the element covering the most remaining sets.
+		counts := map[procs.ID]int{}
+		for _, s := range remaining {
+			s.ForEach(func(p procs.ID) { counts[p]++ })
+		}
+		var best procs.ID
+		bestCount := -1
+		for p, c := range counts {
+			if c > bestCount || (c == bestCount && p < best) {
+				best, bestCount = p, c
+			}
+		}
+		size++
+		next := remaining[:0]
+		for _, s := range remaining {
+			if !s.Contains(best) {
+				next = append(next, s)
+			}
+		}
+		remaining = next
+	}
+	return size
+}
+
+// branch performs branch-and-bound: pick the first unhit set and branch
+// on each of its elements.
+func branch(family []procs.Set, picked, best int) int {
+	if picked >= best {
+		return best
+	}
+	idx := -1
+	for i, s := range family {
+		if s != 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return picked
+	}
+	s := family[idx]
+	s.ForEach(func(p procs.ID) {
+		// Hit every set containing p, recurse on the rest.
+		next := make([]procs.Set, 0, len(family))
+		for _, t := range family {
+			if t != 0 && !t.Contains(p) {
+				next = append(next, t)
+			}
+		}
+		if r := branch(next, picked+1, best); r < best {
+			best = r
+		}
+	})
+	return best
+}
+
+func firstUnhit(family []procs.Set, h procs.Set) int {
+	for i, s := range family {
+		if !h.Intersects(s) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,111 @@
+package hitting
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/procs"
+)
+
+func set(ids ...procs.ID) procs.Set { return procs.SetOf(ids...) }
+
+func TestSizeBasics(t *testing.T) {
+	cases := []struct {
+		name   string
+		family []procs.Set
+		want   int
+	}{
+		{"empty family", nil, 0},
+		{"single set", []procs.Set{set(0, 1)}, 1},
+		{"disjoint pair", []procs.Set{set(0), set(1)}, 2},
+		{"common element", []procs.Set{set(0, 1), set(0, 2)}, 1},
+		{"contains empty", []procs.Set{set(0), procs.EmptySet}, -1},
+		{"t-resilient 1 of 3", []procs.Set{set(0, 1), set(0, 2), set(1, 2)}, 2},
+		{"figure 5b adversary generators", []procs.Set{set(1), set(0, 2)}, 2},
+		{"all singletons", []procs.Set{set(0), set(1), set(2)}, 3},
+		{"superset reduced", []procs.Set{set(0), set(0, 1), set(0, 1, 2)}, 1},
+	}
+	for _, c := range cases {
+		if got := Size(c.family); got != c.want {
+			t.Errorf("%s: Size = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTResilientCsize(t *testing.T) {
+	// Family of all (n-t)-subsets of n processes has csize t+1.
+	for n := 2; n <= 5; n++ {
+		for tt := 0; tt < n; tt++ {
+			family := procs.SubsetsOfSize(procs.FullSet(n), n-tt)
+			if got := Size(family); got != tt+1 {
+				t.Errorf("n=%d t=%d: csize = %d, want %d", n, tt, got, tt+1)
+			}
+		}
+	}
+}
+
+func TestHitReturnsValidMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(4)
+		var family []procs.Set
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			s := procs.Set(rng.Intn(1<<uint(n))) & procs.FullSet(n)
+			if s.IsEmpty() {
+				s = set(procs.ID(rng.Intn(n)))
+			}
+			family = append(family, s)
+		}
+		want := Size(family)
+		h, ok := Hit(family)
+		if !ok {
+			t.Fatalf("Hit failed on %v", family)
+		}
+		if !IsHittingSet(h, family) {
+			t.Fatalf("Hit returned non-hitting set %v for %v", h, family)
+		}
+		if h.Size() != want {
+			t.Fatalf("Hit size %d != Size %d for %v", h.Size(), want, family)
+		}
+	}
+}
+
+func TestHitEdgeCases(t *testing.T) {
+	if h, ok := Hit(nil); !ok || !h.IsEmpty() {
+		t.Errorf("Hit(nil) = %v, %v", h, ok)
+	}
+	if _, ok := Hit([]procs.Set{procs.EmptySet}); ok {
+		t.Errorf("Hit of family containing empty set should fail")
+	}
+}
+
+func TestSizeBruteForceAgreement(t *testing.T) {
+	// Cross-check against exhaustive search for n <= 4.
+	rng := rand.New(rand.NewSource(11))
+	brute := func(family []procs.Set, n int) int {
+		if len(family) == 0 {
+			return 0
+		}
+		for size := 0; size <= n; size++ {
+			for _, h := range procs.SubsetsOfSize(procs.FullSet(n), size) {
+				if IsHittingSet(h, family) {
+					return size
+				}
+			}
+		}
+		return -1
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(3)
+		var family []procs.Set
+		for i := 0; i < rng.Intn(6); i++ {
+			s := procs.Set(rng.Intn(1<<uint(n))) & procs.FullSet(n)
+			if !s.IsEmpty() {
+				family = append(family, s)
+			}
+		}
+		if got, want := Size(family), brute(family, n); got != want {
+			t.Fatalf("Size = %d, brute = %d for %v", got, want, family)
+		}
+	}
+}

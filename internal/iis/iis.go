@@ -1,0 +1,216 @@
+// Package iis models the iterated immediate snapshot communication model
+// of Section 2: one-shot immediate snapshot (IS) semantics, multi-round
+// IIS runs, and the full-information protocol whose r-round knowledge is
+// the carrier of the corresponding Chr^r s vertex.
+//
+// The package establishes (and tests) the bijection at the heart of the
+// topological approach: valid IS output vectors over a participating set
+// P are exactly the view vectors of ordered partitions of P, so r-round
+// IIS runs are r-tuples of ordered partitions, i.e. facets of Chr^r s.
+package iis
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/procs"
+)
+
+// IS axiom violations.
+var (
+	ErrSelfInclusion = errors.New("IS violates self-inclusion")
+	ErrContainment   = errors.New("IS violates containment")
+	ErrImmediacy     = errors.New("IS violates immediacy")
+	ErrOutOfGround   = errors.New("IS view mentions non-participating process")
+)
+
+// ValidateViews checks the three IS axioms for a vector of views over the
+// participating set (the domain of views).
+func ValidateViews(views map[procs.ID]procs.Set) error {
+	var ground procs.Set
+	for p := range views {
+		ground = ground.Add(p)
+	}
+	for p, vp := range views {
+		if !vp.Contains(p) {
+			return fmt.Errorf("%w: %v ∉ %v", ErrSelfInclusion, p, vp)
+		}
+		if !vp.SubsetOf(ground) {
+			return fmt.Errorf("%w: %v", ErrOutOfGround, vp)
+		}
+		for q, vq := range views {
+			if !vp.SubsetOf(vq) && !vq.SubsetOf(vp) {
+				return fmt.Errorf("%w: %v and %v", ErrContainment, vp, vq)
+			}
+			if vp.Contains(q) && !vq.SubsetOf(vp) {
+				return fmt.Errorf("%w: %v sees %v but %v ⊄ %v", ErrImmediacy, p, q, vq, vp)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidatePartialViews checks the IS axioms for a run in which some
+// participants crashed mid-operation: views exist only for the processes
+// in the map, but may mention any process in participants (a crashed
+// process's submitted value is legitimately visible). Self-inclusion and
+// containment are checked on the available views; immediacy is checked
+// whenever both views are available.
+func ValidatePartialViews(views map[procs.ID]procs.Set, participants procs.Set) error {
+	for p, vp := range views {
+		if !vp.Contains(p) {
+			return fmt.Errorf("%w: %v ∉ %v", ErrSelfInclusion, p, vp)
+		}
+		if !vp.SubsetOf(participants) {
+			return fmt.Errorf("%w: %v ⊄ %v", ErrOutOfGround, vp, participants)
+		}
+		for q, vq := range views {
+			if !vp.SubsetOf(vq) && !vq.SubsetOf(vp) {
+				return fmt.Errorf("%w: %v and %v", ErrContainment, vp, vq)
+			}
+			if vp.Contains(q) && !vq.SubsetOf(vp) {
+				return fmt.Errorf("%w: %v sees %v but %v ⊄ %v", ErrImmediacy, p, q, vq, vp)
+			}
+		}
+	}
+	return nil
+}
+
+// PartitionFromViews reconstructs the unique ordered partition inducing
+// the given valid IS views: blocks are the groups of processes sharing a
+// view, ordered by view size.
+func PartitionFromViews(views map[procs.ID]procs.Set) (procs.OrderedPartition, error) {
+	if err := ValidateViews(views); err != nil {
+		return nil, err
+	}
+	groups := make(map[procs.Set]procs.Set)
+	for p, v := range views {
+		groups[v] = groups[v].Add(p)
+	}
+	keys := make([]procs.Set, 0, len(groups))
+	for v := range groups {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Size() < keys[j].Size() })
+	out := make(procs.OrderedPartition, 0, len(keys))
+	for _, v := range keys {
+		out = append(out, groups[v])
+	}
+	return out, nil
+}
+
+// Run is an m-round IIS run over a fixed participating set: one ordered
+// partition per round. In the IIS model there are no failures — every
+// participating process moves in every round.
+type Run []procs.OrderedPartition
+
+// Validate checks every round partitions the same ground set.
+func (r Run) Validate(ground procs.Set) error {
+	for i, op := range r {
+		if err := op.Validate(ground); err != nil {
+			return fmt.Errorf("round %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Ground returns the participating set.
+func (r Run) Ground() procs.Set {
+	if len(r) == 0 {
+		return 0
+	}
+	return r[0].Ground()
+}
+
+// Rounds returns the number of IS rounds.
+func (r Run) Rounds() int { return len(r) }
+
+// Knowledge returns the set of processes p has (transitively) heard of
+// after the given round of the full-information protocol: round-1
+// knowledge is p's view, round-r knowledge is the union of round-(r-1)
+// knowledge over p's round-r view. This is χ(carrier(v, s)) of p's
+// Chr^r s vertex.
+func (r Run) Knowledge(p procs.ID, round int) procs.Set {
+	if round <= 0 || round > len(r) {
+		return 0
+	}
+	know := make(map[procs.ID]procs.Set)
+	views := r[0].Views()
+	for q, v := range views {
+		know[q] = v
+	}
+	for i := 1; i < round; i++ {
+		next := make(map[procs.ID]procs.Set, len(know))
+		vs := r[i].Views()
+		for q, view := range vs {
+			var acc procs.Set
+			view.ForEach(func(x procs.ID) { acc = acc.Union(know[x]) })
+			next[q] = acc
+		}
+		know = next
+	}
+	return know[p]
+}
+
+// RandomRun draws a random m-round IIS run over ground.
+func RandomRun(ground procs.Set, rounds int, rng *rand.Rand) Run {
+	out := make(Run, rounds)
+	for i := range out {
+		out[i] = procs.RandomOrderedPartition(ground, rng)
+	}
+	return out
+}
+
+// EnumerateRuns lists all m-round IIS runs over ground. The count is
+// (ordered Bell of |ground|)^m; use only for small systems.
+func EnumerateRuns(ground procs.Set, rounds int) []Run {
+	parts := procs.EnumerateOrderedPartitions(ground)
+	total := 1
+	for i := 0; i < rounds; i++ {
+		total *= len(parts)
+	}
+	out := make([]Run, 0, total)
+	idx := make([]int, rounds)
+	for {
+		run := make(Run, rounds)
+		for i, j := range idx {
+			run[i] = parts[j]
+		}
+		out = append(out, run)
+		k := rounds - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(parts) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// FullInfoViews returns, for every process, its complete r-round
+// full-information content: the nested view structure flattened to the
+// per-round views of every known process. Round index 0 = first IS.
+type FullInfoViews map[procs.ID][]procs.Set
+
+// RunViews computes per-round views for all processes in the run.
+func RunViews(r Run) FullInfoViews {
+	out := make(FullInfoViews)
+	ground := r.Ground()
+	ground.ForEach(func(p procs.ID) {
+		views := make([]procs.Set, len(r))
+		for i, op := range r {
+			v, _ := op.ViewOf(p)
+			views[i] = v
+		}
+		out[p] = views
+	})
+	return out
+}

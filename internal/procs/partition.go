@@ -1,0 +1,210 @@
+package procs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// OrderedPartition is an ordered partition of a ground set into non-empty
+// blocks. It is the combinatorial form of a one-round immediate-snapshot
+// schedule: the processes of block i take their WriteSnapshot "at the same
+// time", after all blocks j < i. The view of a process is the union of its
+// own block and all earlier blocks (containment + immediacy of IS).
+type OrderedPartition []Set
+
+// Validation errors for ordered partitions.
+var (
+	ErrEmptyBlock    = errors.New("ordered partition has an empty block")
+	ErrOverlap       = errors.New("ordered partition blocks overlap")
+	ErrWrongGround   = errors.New("ordered partition does not cover the ground set")
+	ErrUnknownMember = errors.New("process not in ordered partition")
+)
+
+// Validate checks that op is an ordered partition of ground.
+func (op OrderedPartition) Validate(ground Set) error {
+	var seen Set
+	for _, b := range op {
+		if b.IsEmpty() {
+			return ErrEmptyBlock
+		}
+		if seen.Intersects(b) {
+			return ErrOverlap
+		}
+		seen = seen.Union(b)
+	}
+	if seen != ground {
+		return fmt.Errorf("%w: covered %v, want %v", ErrWrongGround, seen, ground)
+	}
+	return nil
+}
+
+// Ground returns the union of all blocks.
+func (op OrderedPartition) Ground() Set {
+	var g Set
+	for _, b := range op {
+		g = g.Union(b)
+	}
+	return g
+}
+
+// BlockOf returns the index of the block containing p, or -1 if absent.
+func (op OrderedPartition) BlockOf(p ID) int {
+	for i, b := range op {
+		if b.Contains(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ViewOf returns the IS view of process p under this schedule: the union
+// of p's block with all earlier blocks. ok is false if p is not in the
+// partition.
+func (op OrderedPartition) ViewOf(p ID) (view Set, ok bool) {
+	var acc Set
+	for _, b := range op {
+		acc = acc.Union(b)
+		if b.Contains(p) {
+			return acc, true
+		}
+	}
+	return 0, false
+}
+
+// Views returns the map of every participating process to its IS view.
+func (op OrderedPartition) Views() map[ID]Set {
+	out := make(map[ID]Set, op.Ground().Size())
+	var acc Set
+	for _, b := range op {
+		acc = acc.Union(b)
+		view := acc
+		b.ForEach(func(p ID) { out[p] = view })
+	}
+	return out
+}
+
+// Prefix returns the union of the first k blocks.
+func (op OrderedPartition) Prefix(k int) Set {
+	var acc Set
+	for i := 0; i < k && i < len(op); i++ {
+		acc = acc.Union(op[i])
+	}
+	return acc
+}
+
+// Equal reports whether two ordered partitions are identical.
+func (op OrderedPartition) Equal(other OrderedPartition) bool {
+	if len(op) != len(other) {
+		return false
+	}
+	for i := range op {
+		if op[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of op.
+func (op OrderedPartition) Clone() OrderedPartition {
+	out := make(OrderedPartition, len(op))
+	copy(out, op)
+	return out
+}
+
+// String renders the partition in the paper's run notation,
+// e.g. "{p2}, {p1}, {p3}".
+func (op OrderedPartition) String() string {
+	parts := make([]string, len(op))
+	for i, b := range op {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Key returns a compact canonical key for use in maps.
+func (op OrderedPartition) Key() string {
+	var b strings.Builder
+	b.Grow(len(op) * 5)
+	for _, blk := range op {
+		fmt.Fprintf(&b, "%x|", uint32(blk))
+	}
+	return b.String()
+}
+
+// EnumerateOrderedPartitions returns every ordered partition of ground,
+// in a deterministic order. The count is the ordered Bell (Fubini) number
+// of |ground|: 1, 3, 13, 75, 541, 4683, ... for |ground| = 1, 2, 3, ...
+func EnumerateOrderedPartitions(ground Set) []OrderedPartition {
+	if ground.IsEmpty() {
+		return []OrderedPartition{{}}
+	}
+	var out []OrderedPartition
+	// Choose the first block (any non-empty subset), recurse on the rest.
+	for _, first := range NonemptySubsets(ground) {
+		rest := ground.Diff(first)
+		for _, tail := range EnumerateOrderedPartitions(rest) {
+			op := make(OrderedPartition, 0, 1+len(tail))
+			op = append(op, first)
+			op = append(op, tail...)
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// CountOrderedPartitions returns the ordered Bell number a(n): the number
+// of ordered partitions of an n-element set. a(0) = 1.
+func CountOrderedPartitions(n int) uint64 {
+	// a(n) = sum_{k=1..n} C(n,k) a(n-k)
+	a := make([]uint64, n+1)
+	a[0] = 1
+	for m := 1; m <= n; m++ {
+		var sum uint64
+		c := uint64(1) // C(m, k)
+		for k := 1; k <= m; k++ {
+			c = c * uint64(m-k+1) / uint64(k)
+			sum += c * a[m-k]
+		}
+		a[m] = sum
+	}
+	return a[n]
+}
+
+// RandomOrderedPartition draws a uniformly-ish random ordered partition of
+// ground using rng: it shuffles the members and inserts block boundaries
+// with probability 1/2. (Not exactly uniform over ordered partitions; it
+// is a schedule generator, not a statistical estimator, and it reaches
+// every partition with positive probability.)
+func RandomOrderedPartition(ground Set, rng *rand.Rand) OrderedPartition {
+	members := ground.Members()
+	rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	var out OrderedPartition
+	cur := EmptySet
+	for i, p := range members {
+		cur = cur.Add(p)
+		if i == len(members)-1 || rng.Intn(2) == 0 {
+			out = append(out, cur)
+			cur = EmptySet
+		}
+	}
+	return out
+}
+
+// SingletonOrder returns the fully sequential ordered partition following
+// the given order of processes, e.g. {p2}, {p1}, {p3}.
+func SingletonOrder(order ...ID) OrderedPartition {
+	out := make(OrderedPartition, len(order))
+	for i, p := range order {
+		out[i] = SetOf(p)
+	}
+	return out
+}
+
+// Synchronous returns the one-block partition {P}: the fully synchronous
+// IS run of Figure 3b.
+func Synchronous(ground Set) OrderedPartition {
+	return OrderedPartition{ground}
+}

@@ -1,0 +1,268 @@
+package procs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := SetOf(0, 2)
+	if !s.Contains(0) || s.Contains(1) || !s.Contains(2) {
+		t.Fatalf("membership wrong for %v", s)
+	}
+	if got := s.Size(); got != 2 {
+		t.Fatalf("Size = %d, want 2", got)
+	}
+	if s.String() != "{p1,p3}" {
+		t.Fatalf("String = %q, want {p1,p3}", s.String())
+	}
+	if EmptySet.String() != "{}" {
+		t.Fatalf("empty String = %q", EmptySet.String())
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{{0, 0}, {1, 1}, {3, 3}, {5, 5}, {32, 32}}
+	for _, c := range cases {
+		if got := FullSet(c.n).Size(); got != c.want {
+			t.Errorf("FullSet(%d).Size = %d, want %d", c.n, got, c.want)
+		}
+	}
+	if FullSet(40).Size() != MaxProcs {
+		t.Errorf("FullSet should clamp at MaxProcs")
+	}
+	if FullSet(-1) != EmptySet {
+		t.Errorf("FullSet(-1) should be empty")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := SetOf(0, 1)
+	b := SetOf(1, 2)
+	if a.Union(b) != SetOf(0, 1, 2) {
+		t.Errorf("union wrong")
+	}
+	if a.Intersect(b) != SetOf(1) {
+		t.Errorf("intersect wrong")
+	}
+	if a.Diff(b) != SetOf(0) {
+		t.Errorf("diff wrong")
+	}
+	if !SetOf(1).SubsetOf(a) || SetOf(2).SubsetOf(a) {
+		t.Errorf("subset wrong")
+	}
+	if !SetOf(1).ProperSubsetOf(a) || a.ProperSubsetOf(a) {
+		t.Errorf("proper subset wrong")
+	}
+	if !a.Intersects(b) || a.Intersects(SetOf(3)) {
+		t.Errorf("intersects wrong")
+	}
+}
+
+func TestMinMembers(t *testing.T) {
+	if _, ok := EmptySet.Min(); ok {
+		t.Errorf("Min of empty should report !ok")
+	}
+	m, ok := SetOf(3, 1, 4).Min()
+	if !ok || m != 1 {
+		t.Errorf("Min = %v, want p2", m)
+	}
+	got := SetOf(2, 0).Members()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Members = %v", got)
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	s := SetOf(0, 2, 3)
+	subs := Subsets(s)
+	if len(subs) != 8 {
+		t.Fatalf("len(Subsets) = %d, want 8", len(subs))
+	}
+	seen := map[Set]bool{}
+	for _, sub := range subs {
+		if !sub.SubsetOf(s) {
+			t.Errorf("%v not a subset of %v", sub, s)
+		}
+		if seen[sub] {
+			t.Errorf("duplicate subset %v", sub)
+		}
+		seen[sub] = true
+	}
+	if len(NonemptySubsets(s)) != 7 {
+		t.Errorf("NonemptySubsets count wrong")
+	}
+	if got := len(SubsetsOfSize(s, 2)); got != 3 {
+		t.Errorf("SubsetsOfSize(2) = %d, want 3", got)
+	}
+}
+
+func TestForEachSubsetEarlyStop(t *testing.T) {
+	count := 0
+	ForEachSubset(FullSet(4), func(Set) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop failed, count = %d", count)
+	}
+}
+
+func TestSubsetsPropertyCount(t *testing.T) {
+	// Property: |Subsets(s)| == 2^|s| for any s over a small universe.
+	f := func(raw uint16) bool {
+		s := Set(raw) & FullSet(10)
+		return len(Subsets(s)) == 1<<uint(s.Size())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderedPartitionViews(t *testing.T) {
+	// The paper's Figure 3a run: {p2}, {p1}, {p3}.
+	op := SingletonOrder(1, 0, 2)
+	if err := op.Validate(FullSet(3)); err != nil {
+		t.Fatal(err)
+	}
+	wantViews := map[ID]Set{
+		1: SetOf(1),       // p2 sees {p2}
+		0: SetOf(0, 1),    // p1 sees {p1,p2}
+		2: SetOf(0, 1, 2), // p3 sees {p1,p2,p3}
+	}
+	views := op.Views()
+	for p, want := range wantViews {
+		if views[p] != want {
+			t.Errorf("view of %v = %v, want %v", p, views[p], want)
+		}
+	}
+	// Figure 3b: synchronous run {p1,p2,p3}: all see everything.
+	sync := Synchronous(FullSet(3))
+	for p, v := range sync.Views() {
+		if v != FullSet(3) {
+			t.Errorf("synchronous view of %v = %v", p, v)
+		}
+	}
+}
+
+func TestOrderedPartitionValidate(t *testing.T) {
+	g := FullSet(3)
+	cases := []struct {
+		name string
+		op   OrderedPartition
+		ok   bool
+	}{
+		{"valid", OrderedPartition{SetOf(1), SetOf(0, 2)}, true},
+		{"empty block", OrderedPartition{SetOf(1), EmptySet, SetOf(0, 2)}, false},
+		{"overlap", OrderedPartition{SetOf(1), SetOf(1, 0, 2)}, false},
+		{"incomplete", OrderedPartition{SetOf(1)}, false},
+	}
+	for _, c := range cases {
+		err := c.op.Validate(g)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestEnumerateOrderedPartitionsCounts(t *testing.T) {
+	// Ordered Bell numbers: 1, 1, 3, 13, 75, 541.
+	want := []uint64{1, 1, 3, 13, 75, 541}
+	for n := 0; n <= 5; n++ {
+		ops := EnumerateOrderedPartitions(FullSet(n))
+		if uint64(len(ops)) != want[n] {
+			t.Errorf("n=%d: %d partitions, want %d", n, len(ops), want[n])
+		}
+		if CountOrderedPartitions(n) != want[n] {
+			t.Errorf("CountOrderedPartitions(%d) = %d, want %d",
+				n, CountOrderedPartitions(n), want[n])
+		}
+		seen := map[string]bool{}
+		for _, op := range ops {
+			if err := op.Validate(FullSet(n)); err != nil {
+				t.Fatalf("n=%d: invalid partition %v: %v", n, op, err)
+			}
+			k := op.Key()
+			if seen[k] {
+				t.Fatalf("n=%d: duplicate partition %v", n, op)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestOrderedPartitionContainmentImmediacy(t *testing.T) {
+	// IS axioms hold for the views of every ordered partition (n = 4):
+	// self-inclusion, containment, immediacy.
+	ground := FullSet(4)
+	for _, op := range EnumerateOrderedPartitions(ground) {
+		views := op.Views()
+		for p, vp := range views {
+			if !vp.Contains(p) {
+				t.Fatalf("self-inclusion fails: %v ∉ %v in %v", p, vp, op)
+			}
+			for q, vq := range views {
+				if !vp.SubsetOf(vq) && !vq.SubsetOf(vp) {
+					t.Fatalf("containment fails for %v,%v in %v", p, q, op)
+				}
+				if vp.Contains(q) && !vq.SubsetOf(vp) {
+					t.Fatalf("immediacy fails for %v,%v in %v", p, q, op)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomOrderedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ground := FullSet(5)
+	for i := 0; i < 200; i++ {
+		op := RandomOrderedPartition(ground, rng)
+		if err := op.Validate(ground); err != nil {
+			t.Fatalf("random partition invalid: %v (%v)", err, op)
+		}
+	}
+	// Reaches at least both extremes over many draws at n=2.
+	sawSync, sawSeq := false, false
+	for i := 0; i < 200; i++ {
+		op := RandomOrderedPartition(FullSet(2), rng)
+		if len(op) == 1 {
+			sawSync = true
+		}
+		if len(op) == 2 {
+			sawSeq = true
+		}
+	}
+	if !sawSync || !sawSeq {
+		t.Errorf("random partitions not diverse: sync=%v seq=%v", sawSync, sawSeq)
+	}
+}
+
+func TestPartitionHelpers(t *testing.T) {
+	op := OrderedPartition{SetOf(1), SetOf(0, 2)}
+	if op.BlockOf(2) != 1 || op.BlockOf(1) != 0 || op.BlockOf(3) != -1 {
+		t.Errorf("BlockOf wrong")
+	}
+	if op.Prefix(1) != SetOf(1) || op.Prefix(2) != FullSet(3) || op.Prefix(9) != FullSet(3) {
+		t.Errorf("Prefix wrong")
+	}
+	if _, ok := op.ViewOf(5); ok {
+		t.Errorf("ViewOf absent process should fail")
+	}
+	if !op.Equal(op.Clone()) {
+		t.Errorf("Clone not equal")
+	}
+	if op.Equal(OrderedPartition{SetOf(1)}) {
+		t.Errorf("Equal false positive")
+	}
+	if op.String() != "{p2}, {p1,p3}" {
+		t.Errorf("String = %q", op.String())
+	}
+	if op.Ground() != FullSet(3) {
+		t.Errorf("Ground wrong")
+	}
+}

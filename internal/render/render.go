@@ -1,0 +1,283 @@
+// Package render regenerates the paper's figures for 3-process systems
+// as SVG drawings: Chr s (Figure 1a), affine tasks as sub-complexes of
+// Chr² s (Figures 1b and 7), the contention complex (Figure 4c),
+// critical simplices (Figure 5) and concurrency maps (Figure 6).
+//
+// The drawings use the Appendix A geometric coordinates (barycentric
+// over the corners of s, with p2 on top, p1 bottom-left and p3
+// bottom-right, matching the paper's orientation).
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+	"repro/internal/sc"
+)
+
+const (
+	canvas  = 640.0
+	margin  = 40.0
+	sideLen = canvas - 2*margin
+)
+
+// palette matching the paper's figures.
+const (
+	colorBase   = "#d8d8d8"
+	colorBlue   = "#4a90d9" // affine-task facets (Figures 1b, 7)
+	colorRed    = "#d0403f" // contention simplices (Figure 4c)
+	colorOrange = "#e8962f" // critical simplices / level 1 (Figures 5, 6)
+	colorGreen  = "#4caf50" // concurrency level 2 (Figure 6)
+	colorBlack  = "#333333"
+	colorEdge   = "#888888"
+	colorVertex = "#222222"
+)
+
+// svgPoint maps a barycentric point to canvas coordinates (y flipped so
+// p2 is on top).
+func svgPoint(p chromatic.Point) (float64, float64) {
+	x, y := chromatic.Planar(p)
+	return margin + x*sideLen, margin + (0.8660254037844386-y)*sideLen
+}
+
+type svgBuilder struct {
+	b strings.Builder
+}
+
+func newSVG(title string) *svgBuilder {
+	s := &svgBuilder{}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		canvas, canvas*0.92, canvas, canvas*0.92)
+	fmt.Fprintf(&s.b, `<title>%s</title>`, title)
+	fmt.Fprintf(&s.b, `<rect width="100%%" height="100%%" fill="white"/>`)
+	return s
+}
+
+func (s *svgBuilder) triangle(a, b, c chromatic.Point, fill string, opacity float64) {
+	ax, ay := svgPoint(a)
+	bx, by := svgPoint(b)
+	cx, cy := svgPoint(c)
+	fmt.Fprintf(&s.b,
+		`<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="0.6"/>`,
+		ax, ay, bx, by, cx, cy, fill, opacity, colorEdge)
+}
+
+func (s *svgBuilder) line(a, b chromatic.Point, stroke string, width float64) {
+	ax, ay := svgPoint(a)
+	bx, by := svgPoint(b)
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`,
+		ax, ay, bx, by, stroke, width)
+}
+
+func (s *svgBuilder) dot(p chromatic.Point, fill string, r float64) {
+	x, y := svgPoint(p)
+	fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, x, y, r, fill)
+}
+
+func (s *svgBuilder) label(p chromatic.Point, text string) {
+	x, y := svgPoint(p)
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="14" font-family="sans-serif" fill="%s">%s</text>`,
+		x+6, y-6, colorBlack, text)
+}
+
+func (s *svgBuilder) String() string {
+	return s.b.String() + "</svg>"
+}
+
+// cornerLabels adds the p1/p2/p3 corner labels.
+func (s *svgBuilder) cornerLabels(n int) {
+	for i := 0; i < n && i < 3; i++ {
+		s.label(chromatic.Corner(n, procs.ID(i)), procs.ID(i).String())
+	}
+}
+
+// Chr1SVG renders the standard chromatic subdivision Chr s (Figure 1a).
+func Chr1SVG(n int) string {
+	svg := newSVG(fmt.Sprintf("Chr s, n=%d", n))
+	full := procs.FullSet(n)
+	for _, op := range procs.EnumerateOrderedPartitions(full) {
+		views := op.Views()
+		pts := make([]chromatic.Point, 0, n)
+		full.ForEach(func(p procs.ID) {
+			pts = append(pts, chromatic.Coords1(n, p, views[p]))
+		})
+		if len(pts) == 3 {
+			svg.triangle(pts[0], pts[1], pts[2], colorBase, 0.5)
+		}
+	}
+	// Vertices on top.
+	for _, op := range procs.EnumerateOrderedPartitions(full) {
+		views := op.Views()
+		full.ForEach(func(p procs.ID) {
+			svg.dot(chromatic.Coords1(n, p, views[p]), colorVertex, 3)
+		})
+	}
+	svg.cornerLabels(n)
+	return svg.String()
+}
+
+// AffineTaskSVG renders an affine task's facets in blue over the grey
+// Chr² s background (Figures 1b and 7).
+func AffineTaskSVG(task *affine.Task) string {
+	n := task.N()
+	u := task.Universe()
+	svg := newSVG(task.Name)
+	// Background: all facets of Chr² s.
+	chromatic.ForEachRun2(procs.FullSet(n), func(r chromatic.Run2) bool {
+		drawRunTriangle(svg, u, r, colorBase, 0.4)
+		return true
+	})
+	for _, r := range task.Facets() {
+		drawRunTriangle(svg, u, r, colorBlue, 0.75)
+	}
+	svg.cornerLabels(n)
+	return svg.String()
+}
+
+func drawRunTriangle(svg *svgBuilder, u *chromatic.Universe, r chromatic.Run2, fill string, op float64) {
+	ids := r.FacetIDs(u)
+	if len(ids) != 3 {
+		return
+	}
+	pts := make([]chromatic.Point, 3)
+	for i, id := range ids {
+		pts[i] = chromatic.Coords2(u.N(), u.Vertex(id))
+	}
+	svg.triangle(pts[0], pts[1], pts[2], fill, op)
+}
+
+// Cont2SVG renders the 2-contention complex in red over Chr² s
+// (Figure 4c).
+func Cont2SVG(n int) string {
+	u := chromatic.NewUniverse(n)
+	svg := newSVG(fmt.Sprintf("Cont², n=%d", n))
+	chromatic.ForEachRun2(procs.FullSet(n), func(r chromatic.Run2) bool {
+		drawRunTriangle(svg, u, r, colorBase, 0.4)
+		return true
+	})
+	for _, s := range affine.Cont2Simplices(u, 1) {
+		pts := make([]chromatic.Point, len(s))
+		for i, id := range s {
+			pts[i] = chromatic.Coords2(n, u.Vertex(id))
+		}
+		switch len(pts) {
+		case 2:
+			svg.line(pts[0], pts[1], colorRed, 2.2)
+		case 3:
+			svg.triangle(pts[0], pts[1], pts[2], colorRed, 0.8)
+		}
+	}
+	svg.cornerLabels(n)
+	return svg.String()
+}
+
+// CriticalSVG renders the critical simplices of Chr s in orange
+// (Figure 5) for the given agreement function.
+func CriticalSVG(n int, alpha adversary.AlphaFunc, name string) string {
+	svg := newSVG("critical simplices: " + name)
+	full := procs.FullSet(n)
+	for _, op := range procs.EnumerateOrderedPartitions(full) {
+		views := op.Views()
+		pts := make([]chromatic.Point, 0, n)
+		full.ForEach(func(p procs.ID) {
+			pts = append(pts, chromatic.Coords1(n, p, views[p]))
+		})
+		if len(pts) == 3 {
+			svg.triangle(pts[0], pts[1], pts[2], colorBase, 0.4)
+		}
+	}
+	seen := map[string]bool{}
+	affine.ForEachChr1Simplex(full, func(s affine.Chr1Simplex) bool {
+		for _, theta := range affine.CriticalSimplices(alpha, s) {
+			pts := make([]chromatic.Point, 0, theta.Size())
+			key := ""
+			theta.ForEach(func(q procs.ID) {
+				pts = append(pts, chromatic.Coords1(n, q, s.Views[q]))
+				key += fmt.Sprintf("%d:%x;", q, uint32(s.Views[q]))
+			})
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			switch len(pts) {
+			case 1:
+				svg.dot(pts[0], colorOrange, 6)
+			case 2:
+				svg.line(pts[0], pts[1], colorOrange, 3)
+			case 3:
+				svg.triangle(pts[0], pts[1], pts[2], colorOrange, 0.85)
+			}
+		}
+		return true
+	})
+	svg.cornerLabels(n)
+	return svg.String()
+}
+
+// ConcurrencySVG renders the concurrency map over Chr s (Figure 6):
+// every simplex (facet, edge, vertex) is tinted by its own Conc_α level
+// (black 0, orange 1, green 2), matching the per-simplex coloring of the
+// paper's figure.
+func ConcurrencySVG(n int, alpha adversary.AlphaFunc, name string) string {
+	svg := newSVG("concurrency map: " + name)
+	levelStyle := func(level int) (string, float64) {
+		switch {
+		case level >= 2:
+			return colorGreen, 0.7
+		case level == 1:
+			return colorOrange, 0.7
+		default:
+			return colorBlack, 0.25
+		}
+	}
+	seen := map[string]bool{}
+	// Facets first (background), then edges, then vertices on top.
+	byDim := map[int][]affine.Chr1Simplex{}
+	affine.ForEachChr1Simplex(procs.FullSet(n), func(s affine.Chr1Simplex) bool {
+		d := s.Procs().Size() - 1
+		byDim[d] = append(byDim[d], s)
+		return true
+	})
+	for d := n - 1; d >= 0; d-- {
+		for _, s := range byDim[d] {
+			pts := make([]chromatic.Point, 0, d+1)
+			key := ""
+			s.Procs().ForEach(func(q procs.ID) {
+				pts = append(pts, chromatic.Coords1(n, q, s.Views[q]))
+				key += fmt.Sprintf("%d:%x;", q, uint32(s.Views[q]))
+			})
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fill, opacity := levelStyle(affine.Critical(alpha, s).Conc)
+			switch len(pts) {
+			case 1:
+				svg.dot(pts[0], fill, 4)
+			case 2:
+				svg.line(pts[0], pts[1], fill, 2.4)
+			case 3:
+				svg.triangle(pts[0], pts[1], pts[2], fill, opacity)
+			}
+		}
+	}
+	svg.cornerLabels(n)
+	return svg.String()
+}
+
+// ComplexStats summarizes a complex for textual figure reproduction.
+func ComplexStats(c *sc.Complex) string {
+	top := 0
+	d := c.Dimension()
+	for _, f := range c.Facets() {
+		if f.Dim() == d {
+			top++
+		}
+	}
+	return fmt.Sprintf("vertices=%d simplices=%d dim=%d facets=%d pure=%v chromatic=%v",
+		c.NumVertices(), c.NumSimplices(), d, top, c.IsPure(), c.IsChromatic())
+}

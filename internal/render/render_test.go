@@ -1,0 +1,98 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+)
+
+func TestChr1SVGWellFormed(t *testing.T) {
+	svg := Chr1SVG(3)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not an svg document")
+	}
+	// 13 facets drawn as triangles plus background rect.
+	if got := strings.Count(svg, "<polygon"); got != 13 {
+		t.Errorf("triangles = %d, want 13", got)
+	}
+	if !strings.Contains(svg, ">p2<") {
+		t.Errorf("corner labels missing")
+	}
+}
+
+func TestAffineTaskSVG(t *testing.T) {
+	u := chromatic.NewUniverse(3)
+	task, err := affine.BuildRTres(u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := AffineTaskSVG(task)
+	// 169 background + 142 blue facets.
+	if got := strings.Count(svg, "<polygon"); got != 169+142 {
+		t.Errorf("polygons = %d, want %d", got, 169+142)
+	}
+	if !strings.Contains(svg, colorBlue) {
+		t.Errorf("blue facets missing")
+	}
+}
+
+func TestCont2SVG(t *testing.T) {
+	svg := Cont2SVG(3)
+	// 78 contention edges drawn as red lines; 6 triangles red.
+	if got := strings.Count(svg, `stroke="`+colorRed+`"`); got != 78 {
+		t.Errorf("red lines = %d, want 78", got)
+	}
+	if got := strings.Count(svg, `fill="`+colorRed+`"`); got != 6 {
+		t.Errorf("red triangles = %d, want 6", got)
+	}
+}
+
+func TestCriticalSVG(t *testing.T) {
+	alpha := adversary.KObstructionFree(3, 1).Alpha
+	svg := CriticalSVG(3, alpha, "1-OF")
+	// For 1-OF the critical simplices are the first blocks of the 13
+	// schedules: 3 corner dots (solo first), triangles and edges. At
+	// minimum the three corners appear as orange dots, and the sync
+	// facet as an orange triangle.
+	if got := strings.Count(svg, `fill="`+colorOrange+`"`); got == 0 {
+		t.Errorf("no orange critical simplices rendered")
+	}
+	if !strings.Contains(svg, "critical simplices: 1-OF") {
+		t.Errorf("title missing")
+	}
+}
+
+func TestConcurrencySVG(t *testing.T) {
+	fig5b, err := adversary.SupersetClosure(3, procs.SetOf(1), procs.SetOf(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := ConcurrencySVG(3, fig5b.Alpha, "fig5b")
+	if !strings.Contains(svg, colorGreen) {
+		t.Errorf("level-2 facets missing for fig5b model")
+	}
+	if !strings.Contains(svg, colorOrange) {
+		t.Errorf("level-1 facets missing for fig5b model")
+	}
+	// For 1-OF there is no level-2 facet (α ≤ 1): no green.
+	oneOF := ConcurrencySVG(3, adversary.KObstructionFree(3, 1).Alpha, "1-OF")
+	if strings.Contains(oneOF, colorGreen) {
+		t.Errorf("1-OF must have no level-2 facets")
+	}
+}
+
+func TestComplexStats(t *testing.T) {
+	u := chromatic.NewUniverse(3)
+	task, err := affine.BuildRkOF(u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComplexStats(task.Complex())
+	if !strings.Contains(s, "facets=73") || !strings.Contains(s, "pure=true") {
+		t.Errorf("stats = %s", s)
+	}
+}

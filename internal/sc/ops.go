@@ -1,0 +1,81 @@
+package sc
+
+// This file implements the complex-level operations of Section 2:
+// closure Cl, star St, pure complement Pc, and skeletons.
+
+// Closure returns Cl(S): the sub-complex formed by all faces of the given
+// simplices. Vertices are inherited from c.
+func (c *Complex) Closure(gens []Simplex) *Complex {
+	out := NewComplex(c.colors)
+	for _, g := range gens {
+		for _, v := range g {
+			if vert, ok := c.verts[v]; ok {
+				// Error impossible: vertex data comes from c itself.
+				_ = out.AddVertex(v, vert.Color, vert.Label)
+			}
+		}
+		_ = out.AddSimplex(g...)
+	}
+	return out
+}
+
+// Star returns St(S, c): all simplices of c having a simplex of S as a
+// face — i.e. {σ ∈ c | faces(σ) ∩ S ≠ ∅}. Note the result is generally
+// NOT a complex (it is not inclusion-closed); it is returned as a simplex
+// list, matching the paper's usage.
+func (c *Complex) Star(s []Simplex) []Simplex {
+	keys := make(map[string]bool, len(s))
+	for _, g := range s {
+		keys[g.Key()] = true
+	}
+	var out []Simplex
+	for _, sim := range c.Simplices() {
+		for _, f := range sim.Faces() {
+			if keys[f.Key()] {
+				out = append(out, sim)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PureComplement returns Pc(S, c): the maximal pure sub-complex of c of
+// the same dimension as c that does not intersect S. Concretely
+// (Section 2): Cl({σ ∈ facets(c) | faces(σ) ∩ S = ∅}).
+func (c *Complex) PureComplement(s []Simplex) *Complex {
+	keys := make(map[string]bool, len(s))
+	for _, g := range s {
+		keys[g.Key()] = true
+	}
+	d := c.Dimension()
+	var keep []Simplex
+	for _, f := range c.Facets() {
+		if f.Dim() != d {
+			continue
+		}
+		hit := false
+		for _, face := range f.Faces() {
+			if keys[face.Key()] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			keep = append(keep, f)
+		}
+	}
+	return c.Closure(keep)
+}
+
+// Skeleton returns Skel_k(c): the sub-complex of simplices of dimension
+// at most k.
+func (c *Complex) Skeleton(k int) *Complex {
+	var keep []Simplex
+	for _, s := range c.Simplices() {
+		if s.Dim() <= k {
+			keep = append(keep, s)
+		}
+	}
+	return c.Closure(keep)
+}

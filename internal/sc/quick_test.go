@@ -1,0 +1,158 @@
+package sc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randComplex builds a pseudo-random chromatic complex over up to 4
+// colors from a seed: a handful of facets with distinct colors.
+func randComplex(seed int64) *Complex {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(3)
+	c := NewComplex(n)
+	vertsPerColor := 1 + rng.Intn(2)
+	id := VertexID(0)
+	byColor := make([][]VertexID, n)
+	for col := 0; col < n; col++ {
+		for k := 0; k < vertsPerColor; k++ {
+			_ = c.AddVertex(id, col, "v")
+			byColor[col] = append(byColor[col], id)
+			id++
+		}
+	}
+	facets := 1 + rng.Intn(4)
+	for f := 0; f < facets; f++ {
+		var simplex []VertexID
+		for col := 0; col < n; col++ {
+			if rng.Intn(4) > 0 {
+				simplex = append(simplex, byColor[col][rng.Intn(len(byColor[col]))])
+			}
+		}
+		if len(simplex) > 0 {
+			_ = c.AddSimplex(simplex...)
+		}
+	}
+	return c
+}
+
+// TestQuickClosureIdempotent: Cl(Cl(S)) = Cl(S).
+func TestQuickClosureIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randComplex(seed)
+		cl := c.Closure(c.Facets())
+		cl2 := cl.Closure(cl.Facets())
+		return cl.Equal(cl2) && cl.Equal(c.Closure(c.Simplices()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPureComplementInvariants: Pc(S, c) is a pure sub-complex of c
+// avoiding S.
+func TestQuickPureComplementInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randComplex(seed)
+		vids := c.VertexIDs()
+		if len(vids) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		banned := []Simplex{NewSimplex(vids[rng.Intn(len(vids))])}
+		pc := c.PureComplement(banned)
+		if !pc.SubcomplexOf(c) {
+			return false
+		}
+		if pc.NumSimplices() > 0 && !pc.IsPure() {
+			return false
+		}
+		for _, b := range banned {
+			if pc.HasSimplex(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSkeletonDimension: Skel_k has dimension ≤ k and contains
+// exactly the simplices of c with dim ≤ k.
+func TestQuickSkeletonDimension(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		c := randComplex(seed)
+		k := int(kk % 4)
+		sk := c.Skeleton(k)
+		if sk.Dimension() > k {
+			return false
+		}
+		for _, s := range c.Simplices() {
+			has := sk.HasSimplex(s)
+			if (s.Dim() <= k) != has {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStarContainsClosure: every simplex containing a generator is
+// in the star; stars grow with the generator set.
+func TestQuickStarContains(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randComplex(seed)
+		vids := c.VertexIDs()
+		if len(vids) == 0 {
+			return true
+		}
+		g := NewSimplex(vids[0])
+		star := c.Star([]Simplex{g})
+		count := 0
+		for _, s := range c.Simplices() {
+			if g.IsFaceOf(s) {
+				count++
+			}
+		}
+		return len(star) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimplexFaceLattice: faces of faces are faces; union/intersect
+// respect the face order.
+func TestQuickSimplexFaceLattice(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]VertexID, 0, len(raw))
+		for _, r := range raw {
+			vs = append(vs, VertexID(r%12))
+		}
+		s := NewSimplex(vs...)
+		for _, face := range s.Faces() {
+			if !face.IsFaceOf(s) {
+				return false
+			}
+			if !face.Intersect(s).Equal(face) {
+				return false
+			}
+			if !face.Union(s).Equal(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,317 @@
+package sched
+
+// Exhaustive schedule exploration (stateless model checking): instead of
+// drawing one random interleaving, Explore enumerates EVERY schedule of
+// the given protocol up to the step bound, including every crash
+// placement within the failure budget, and invokes a checker on each
+// completed run. This turns the randomized Theorem 7 campaigns into
+// exhaustive verification for small systems.
+//
+// The state space is the tree of scheduler choices: at each point the
+// scheduler either grants a step to one of the runnable processes or
+// crashes one of the still-crashable processes. Runs are replayed from
+// the root for every leaf (protocols are deterministic given the choice
+// sequence), which keeps the implementation simple and the protocols
+// unchanged.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/procs"
+)
+
+// ExploreConfig bounds an exhaustive exploration.
+type ExploreConfig struct {
+	N            int
+	Participants procs.Set
+	// MaxCrashes bounds how many processes may crash in a run
+	// (α(P) − 1 for α-model exploration).
+	MaxCrashes int
+	// Crashable restricts which processes may crash (defaults to all
+	// participants when zero).
+	Crashable procs.Set
+	// MaxSteps bounds each run's total step count; runs that do not
+	// complete within the bound are reported as liveness violations.
+	MaxSteps int
+	// MaxRuns aborts the exploration when the schedule tree is larger
+	// (safety valve; 0 = unlimited).
+	MaxRuns int
+	// MaxNodes bounds the total number of explored tree nodes (replays).
+	// Protocols with wait-phases generate exponentially many pruned
+	// starvation subtrees; the node budget keeps the sweep bounded.
+	// 0 selects a 200k default.
+	MaxNodes int
+	// PruneAtDepth controls what happens when a schedule prefix reaches
+	// MaxSteps without completing. For wait-free protocols (operations
+	// finish within a bounded number of the caller's own steps) leave it
+	// false: hitting the bound is a genuine liveness violation. For
+	// protocols with wait-phases (Algorithm 1), set it true: the DFS
+	// necessarily explores starvation prefixes that lie outside the
+	// model (correct processes must keep taking steps), and such
+	// branches are pruned as truncation instead.
+	PruneAtDepth bool
+}
+
+// ExploreResult aggregates an exploration.
+type ExploreResult struct {
+	Runs      int // completed runs checked
+	Nodes     int // schedule-tree nodes replayed
+	Truncated bool
+}
+
+// Exploration errors.
+var (
+	ErrLivenessViolation = errors.New("liveness violation: correct process undecided within step bound")
+	ErrExploreBudget     = errors.New("exploration aborted: too many schedules")
+)
+
+// choice is one scheduler decision: grant a step to P (crash=false) or
+// crash P before its next step (crash=true).
+type choice struct {
+	p     procs.ID
+	crash bool
+}
+
+// RunFactory creates one run's protocol instance (with fresh shared
+// objects) together with the checker applied to that run's Result when
+// it completes. Every replayed schedule gets its own instance.
+type RunFactory func() (Protocol, func(*Result) error)
+
+// Explore enumerates all schedules. The factory is invoked once per
+// replay; its checker returning an error aborts the exploration
+// (reported verbatim).
+func Explore(cfg ExploreConfig, factory RunFactory) (*ExploreResult, error) {
+	if cfg.Participants.IsEmpty() {
+		return nil, ErrNoProcs
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200
+	}
+	crashable := cfg.Crashable
+	if crashable.IsEmpty() {
+		crashable = cfg.Participants
+	}
+	res := &ExploreResult{}
+	// Depth-first over choice prefixes. Each replay executes the prefix
+	// and then reports the set of runnable processes at the frontier,
+	// from which new branches are derived.
+	maxNodes := cfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200_000
+	}
+	var dfs func(prefix []choice) error
+	dfs = func(prefix []choice) error {
+		if cfg.MaxRuns > 0 && res.Runs >= cfg.MaxRuns {
+			res.Truncated = true
+			return ErrExploreBudget
+		}
+		res.Nodes++
+		if res.Nodes > maxNodes {
+			res.Truncated = true
+			return ErrExploreBudget
+		}
+		proto, check := factory()
+		runnable, crashed, result, err := replay(cfg, proto, prefix)
+		if err != nil {
+			return err
+		}
+		if runnable.IsEmpty() {
+			// Run complete: every process decided or crashed.
+			res.Runs++
+			return check(result)
+		}
+		if len(prefix) >= cfg.MaxSteps {
+			if cfg.PruneAtDepth {
+				res.Truncated = true
+				return nil
+			}
+			return fmt.Errorf("%w: undecided %v after %d choices",
+				ErrLivenessViolation, runnable, len(prefix))
+		}
+		// Rotate the branch order by depth: the leftmost path is then a
+		// round-robin schedule (fair, in-model) rather than a single
+		// process starving everyone, which matters for protocols with
+		// wait-phases.
+		members := runnable.Members()
+		rot := len(prefix) % len(members)
+		ordered := append(append([]procs.ID(nil), members[rot:]...), members[:rot]...)
+		for _, p := range ordered {
+			// Branch 1: grant p a step.
+			if err := dfs(append(append([]choice(nil), prefix...), choice{p: p})); err != nil {
+				return err
+			}
+			// Branch 2: crash p here (if the budget allows).
+			if crashable.Contains(p) && crashed.Size() < cfg.MaxCrashes {
+				if err := dfs(append(append([]choice(nil), prefix...), choice{p: p, crash: true})); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := dfs(nil); err != nil && !errors.Is(err, ErrExploreBudget) {
+		return res, err
+	}
+	return res, nil
+}
+
+// replay runs the protocol under the exact choice sequence and returns
+// the frontier: the processes still runnable afterwards, the crashed
+// set, and the Result-so-far.
+func replay(cfg ExploreConfig, proto Protocol, prefix []choice) (runnable, crashed procs.Set, result *Result, err error) {
+	d := newDirected(cfg.N, cfg.Participants, proto)
+	defer d.shutdown()
+	for _, c := range prefix {
+		if c.crash {
+			if err := d.crash(c.p); err != nil {
+				return 0, 0, nil, err
+			}
+			continue
+		}
+		if err := d.step(c.p); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return d.runnable(), d.crashed, d.result(), nil
+}
+
+// directed is a scheduler driven by explicit choices rather than a RNG.
+type directed struct {
+	n       int
+	procs   procs.Set
+	states  map[procs.ID]*dstate
+	ready   chan procs.ID
+	done    chan procs.ID
+	decided procs.Set
+	crashed procs.Set
+	errs    map[procs.ID]error
+	steps   int
+}
+
+type dstate struct {
+	ctx    *Context
+	parked bool
+	done   bool
+	dead   bool
+}
+
+func newDirected(n int, participants procs.Set, proto Protocol) *directed {
+	d := &directed{
+		n:      n,
+		procs:  participants,
+		states: make(map[procs.ID]*dstate),
+		ready:  make(chan procs.ID),
+		done:   make(chan procs.ID),
+		errs:   make(map[procs.ID]error),
+	}
+	participants.ForEach(func(p procs.ID) {
+		ctx := &Context{id: p, grant: make(chan stepVerdict)}
+		ctx.sched = &Scheduler{ready: d.ready}
+		d.states[p] = &dstate{ctx: ctx}
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killed); !ok {
+						panic(r)
+					}
+					return
+				}
+			}()
+			if err := proto(ctx); err != nil {
+				d.errs[p] = err // serialized: only the running proc executes
+			}
+			d.done <- p
+		}()
+	})
+	d.settle()
+	return d
+}
+
+// settle waits until every live process is parked in Step or done.
+func (d *directed) settle() {
+	for {
+		pending := procs.EmptySet
+		d.procs.ForEach(func(p procs.ID) {
+			st := d.states[p]
+			if !st.parked && !st.done && !st.dead {
+				pending = pending.Add(p)
+			}
+		})
+		if pending.IsEmpty() {
+			return
+		}
+		select {
+		case p := <-d.ready:
+			d.states[p].parked = true
+		case p := <-d.done:
+			d.states[p].done = true
+			d.decided = d.decided.Add(p)
+		}
+	}
+}
+
+func (d *directed) runnable() procs.Set {
+	var out procs.Set
+	d.procs.ForEach(func(p procs.ID) {
+		if d.states[p].parked {
+			out = out.Add(p)
+		}
+	})
+	return out
+}
+
+func (d *directed) step(p procs.ID) error {
+	st := d.states[p]
+	if !st.parked {
+		return fmt.Errorf("step for non-runnable process %v", p)
+	}
+	st.parked = false
+	d.steps++
+	st.ctx.grant <- verdictGo
+	d.settle()
+	return nil
+}
+
+func (d *directed) crash(p procs.ID) error {
+	st := d.states[p]
+	if !st.parked {
+		return fmt.Errorf("crash for non-runnable process %v", p)
+	}
+	st.parked = false
+	st.dead = true
+	d.crashed = d.crashed.Add(p)
+	st.ctx.grant <- verdictDie
+	d.settle()
+	return nil
+}
+
+// shutdown kills every still-parked process so goroutines exit.
+func (d *directed) shutdown() {
+	d.procs.ForEach(func(p procs.ID) {
+		st := d.states[p]
+		if st.parked {
+			st.parked = false
+			st.dead = true
+			st.ctx.grant <- verdictDie
+		}
+	})
+	// Drain any in-flight notifications (none expected: shutdown is
+	// called only at a settled frontier).
+}
+
+func (d *directed) result() *Result {
+	res := &Result{
+		Decided: d.decided,
+		Crashed: d.crashed,
+		Steps:   d.steps,
+		Errs:    d.errs,
+	}
+	res.LivenessOK = true
+	d.procs.ForEach(func(p procs.ID) {
+		if !d.crashed.Contains(p) && !d.decided.Contains(p) {
+			res.LivenessOK = false
+		}
+	})
+	return res
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/procs"
+)
+
+// TestExploreCountsInterleavings: two processes taking 2 steps each,
+// no crashes: the schedules are the interleavings of aabb — C(4,2) = 6.
+func TestExploreCountsInterleavings(t *testing.T) {
+	cfg := ExploreConfig{
+		N:            2,
+		Participants: procs.FullSet(2),
+		MaxSteps:     16,
+	}
+	res, err := Explore(cfg, func() (Protocol, func(*Result) error) {
+		proto := func(ctx *Context) error {
+			ctx.Step()
+			ctx.Step()
+			return nil
+		}
+		return proto, func(r *Result) error {
+			if r.Decided != procs.FullSet(2) {
+				return fmt.Errorf("run incomplete: %v", r.Decided)
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 6 {
+		t.Errorf("runs = %d, want 6", res.Runs)
+	}
+	if res.Truncated {
+		t.Errorf("should not truncate")
+	}
+}
+
+// TestExploreWithCrashes: one process, one step, one allowed crash —
+// schedules are {step} and {crash}: 2 runs.
+func TestExploreWithCrashes(t *testing.T) {
+	cfg := ExploreConfig{
+		N:            1,
+		Participants: procs.SetOf(0),
+		MaxCrashes:   1,
+		MaxSteps:     8,
+	}
+	sawCrash := false
+	res, err := Explore(cfg, func() (Protocol, func(*Result) error) {
+		proto := func(ctx *Context) error {
+			ctx.Step()
+			return nil
+		}
+		return proto, func(r *Result) error {
+			if r.Crashed.Contains(0) {
+				sawCrash = true
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 2 {
+		t.Errorf("runs = %d, want 2", res.Runs)
+	}
+	if !sawCrash {
+		t.Errorf("crash branch not explored")
+	}
+}
+
+// TestExploreDetectsViolation: the checker's error aborts exploration.
+func TestExploreDetectsViolation(t *testing.T) {
+	wantErr := errors.New("found it")
+	cfg := ExploreConfig{N: 2, Participants: procs.FullSet(2), MaxSteps: 8}
+	_, err := Explore(cfg, func() (Protocol, func(*Result) error) {
+		proto := func(ctx *Context) error {
+			ctx.Step()
+			return nil
+		}
+		return proto, func(*Result) error { return wantErr }
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("violation not propagated: %v", err)
+	}
+}
+
+// TestExploreLivenessBound: a protocol that never finishes trips the
+// liveness bound.
+func TestExploreLivenessBound(t *testing.T) {
+	cfg := ExploreConfig{N: 1, Participants: procs.SetOf(0), MaxSteps: 5}
+	_, err := Explore(cfg, func() (Protocol, func(*Result) error) {
+		proto := func(ctx *Context) error {
+			for {
+				ctx.Step()
+			}
+		}
+		return proto, func(*Result) error { return nil }
+	})
+	if !errors.Is(err, ErrLivenessViolation) {
+		t.Fatalf("want ErrLivenessViolation, got %v", err)
+	}
+}
+
+// TestExploreTruncation: MaxRuns caps the exploration without error.
+func TestExploreTruncation(t *testing.T) {
+	cfg := ExploreConfig{
+		N:            3,
+		Participants: procs.FullSet(3),
+		MaxSteps:     30,
+		MaxRuns:      5,
+	}
+	res, err := Explore(cfg, func() (Protocol, func(*Result) error) {
+		proto := func(ctx *Context) error {
+			for i := 0; i < 4; i++ {
+				ctx.Step()
+			}
+			return nil
+		}
+		return proto, func(*Result) error { return nil }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Runs != 5 {
+		t.Errorf("truncation wrong: %+v", res)
+	}
+}
+
+// TestExploreEmpty: no participants is an error.
+func TestExploreEmpty(t *testing.T) {
+	if _, err := Explore(ExploreConfig{N: 1}, nil); !errors.Is(err, ErrNoProcs) {
+		t.Fatalf("want ErrNoProcs, got %v", err)
+	}
+}

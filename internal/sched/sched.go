@@ -1,0 +1,254 @@
+// Package sched provides a deterministic adversarial scheduler for
+// asynchronous shared-memory protocols: processes run as cooperative
+// goroutines that block before every shared-memory step until the
+// scheduler grants them the step, so exactly one process executes at a
+// time and every interleaving is reproducible from a seed.
+//
+// The scheduler injects crash failures at scheduled step counts,
+// supporting runs of adversarial A-models and α-models (Definition 3):
+// pick a participating set P with α(P) ≥ 1 and a faulty set F ⊆ P with
+// |F| ≤ α(P)−1, and the scheduler explores the corresponding prefixes.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/procs"
+)
+
+// Protocol is the code run by one process. It may perform local
+// computation freely and must call ctx.Step() before each shared-memory
+// operation. Returning ends the process (it has decided).
+type Protocol func(ctx *Context) error
+
+// Errors reported by Run.
+var (
+	ErrStepBudget = errors.New("step budget exhausted before all correct processes decided")
+	ErrNoProcs    = errors.New("no participating processes")
+)
+
+// killed is the sentinel panic used to unwind a crashed process's
+// goroutine from inside Step.
+type killed struct{}
+
+// Context is the per-process handle passed to protocols.
+type Context struct {
+	id    procs.ID
+	sched *Scheduler
+	grant chan stepVerdict
+}
+
+type stepVerdict int
+
+const (
+	verdictGo stepVerdict = iota + 1
+	verdictDie
+)
+
+// ID returns the identity of this process.
+func (c *Context) ID() procs.ID { return c.id }
+
+// Step blocks until the scheduler grants this process its next
+// shared-memory step. If the scheduler has crashed the process, Step
+// never returns (the goroutine unwinds).
+func (c *Context) Step() {
+	// Signal readiness and wait for the verdict.
+	c.sched.ready <- c.id
+	v := <-c.grant
+	if v == verdictDie {
+		panic(killed{})
+	}
+}
+
+// Scheduler drives one run.
+type Scheduler struct {
+	n     int
+	rng   *rand.Rand
+	ready chan procs.ID
+
+	mu   sync.Mutex
+	errs map[procs.ID]error
+}
+
+// Config describes one run.
+type Config struct {
+	N            int       // system size
+	Participants procs.Set // processes that take steps
+	// KillAfter maps a process to the number of shared steps it may
+	// take before crashing. Processes absent from the map are correct.
+	KillAfter map[procs.ID]int
+	// MaxSteps bounds the total number of granted steps (liveness
+	// budget). Zero selects a generous default.
+	MaxSteps int
+	// Seed drives the interleaving.
+	Seed int64
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	Decided    procs.Set          // processes whose protocol returned
+	Crashed    procs.Set          // processes crashed by the scheduler
+	Steps      int                // total granted steps
+	Errs       map[procs.ID]error // protocol errors, if any
+	LivenessOK bool               // all correct participants decided
+}
+
+// Run executes the protocol for every participant under a random
+// failure-injecting schedule. It returns ErrStepBudget (with a partial
+// Result) when correct processes fail to decide within the budget —
+// the liveness-violation signal used by the Algorithm 1 experiments.
+func Run(cfg Config, proto Protocol) (*Result, error) {
+	if cfg.Participants.IsEmpty() {
+		return nil, ErrNoProcs
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 20000 * cfg.Participants.Size()
+	}
+	s := &Scheduler{
+		n:     cfg.N,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		ready: make(chan procs.ID),
+		errs:  make(map[procs.ID]error),
+	}
+
+	type pstate struct {
+		ctx     *Context
+		waiting bool // parked in Step, awaiting a verdict
+		done    bool
+		crashed bool
+		steps   int
+	}
+	states := make(map[procs.ID]*pstate)
+	var wg sync.WaitGroup
+	doneCh := make(chan procs.ID)
+
+	cfg.Participants.ForEach(func(p procs.ID) {
+		ctx := &Context{
+			id:    p,
+			sched: s,
+			grant: make(chan stepVerdict),
+		}
+		states[p] = &pstate{ctx: ctx}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killed); !ok {
+						panic(r) // real bug: propagate
+					}
+					return // crashed silently
+				}
+			}()
+			if err := proto(ctx); err != nil {
+				s.mu.Lock()
+				s.errs[p] = err
+				s.mu.Unlock()
+			}
+			doneCh <- p
+		}()
+	})
+
+	res := &Result{Errs: s.errs}
+	live := cfg.Participants // not yet done nor crashed
+	waitingSet := procs.EmptySet
+
+	// Event loop: collect ready/done notifications, grant steps.
+	for res.Steps < maxSteps && !live.IsEmpty() {
+		// Drain arrivals until every live process is either waiting in
+		// Step or has announced completion.
+		progress := true
+		for progress {
+			progress = false
+			pending := procs.EmptySet
+			live.ForEach(func(p procs.ID) {
+				if !waitingSet.Contains(p) {
+					pending = pending.Add(p)
+				}
+			})
+			if pending.IsEmpty() {
+				break
+			}
+			select {
+			case p := <-s.ready:
+				states[p].waiting = true
+				waitingSet = waitingSet.Add(p)
+				progress = true
+			case p := <-doneCh:
+				states[p].done = true
+				res.Decided = res.Decided.Add(p)
+				live = live.Remove(p)
+				progress = true
+			}
+		}
+		if live.IsEmpty() {
+			break
+		}
+		// Pick a waiting process at random and grant or kill.
+		candidates := waitingSet.Members()
+		if len(candidates) == 0 {
+			break // all remaining are done (handled above)
+		}
+		p := candidates[s.rng.Intn(len(candidates))]
+		st := states[p]
+		kill := false
+		if limit, ok := cfg.KillAfter[p]; ok && st.steps >= limit {
+			kill = true
+		}
+		waitingSet = waitingSet.Remove(p)
+		st.waiting = false
+		if kill {
+			st.crashed = true
+			res.Crashed = res.Crashed.Add(p)
+			live = live.Remove(p)
+			st.ctx.grant <- verdictDie
+			continue
+		}
+		st.steps++
+		res.Steps++
+		st.ctx.grant <- verdictGo
+	}
+
+	// Kill every process still running (budget exhausted or leftovers):
+	// first those already parked in Step, then any still in flight.
+	budgetHit := !live.IsEmpty()
+	waitingSet.ForEach(func(p procs.ID) {
+		if live.Contains(p) {
+			states[p].crashed = true
+			res.Crashed = res.Crashed.Add(p)
+			live = live.Remove(p)
+			states[p].ctx.grant <- verdictDie
+		}
+	})
+	for !live.IsEmpty() {
+		select {
+		case p := <-s.ready:
+			states[p].crashed = true
+			res.Crashed = res.Crashed.Add(p)
+			live = live.Remove(p)
+			states[p].ctx.grant <- verdictDie
+		case p := <-doneCh:
+			states[p].done = true
+			res.Decided = res.Decided.Add(p)
+			live = live.Remove(p)
+		}
+	}
+	wg.Wait()
+
+	// Liveness: every participant not deliberately crashed must decide.
+	res.LivenessOK = true
+	cfg.Participants.ForEach(func(p procs.ID) {
+		if _, scheduledToDie := cfg.KillAfter[p]; !scheduledToDie && !res.Decided.Contains(p) {
+			res.LivenessOK = false
+		}
+	})
+	if budgetHit {
+		return res, fmt.Errorf("%w: %d steps, undecided %v", ErrStepBudget, res.Steps,
+			cfg.Participants.Diff(res.Decided.Union(res.Crashed)))
+	}
+	return res, nil
+}

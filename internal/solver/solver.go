@@ -1,0 +1,300 @@
+// Package solver decides affine-task solvability: given a task (I, O, Δ)
+// and an affine task L ⊆ Chr² s, it searches for a chromatic simplicial
+// map φ : L^ℓ(I) → O carried by Δ — the right-hand side of the FACT
+// theorem (Theorem 16). Existence for some ℓ certifies solvability in
+// the corresponding fair adversarial model; exhaustive failure up to a
+// bound is the (finite) evidence used by the experiments for the
+// impossibility direction.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/sc"
+	"repro/internal/tasks"
+)
+
+// Result reports a solvability decision.
+type Result struct {
+	Solvable bool
+	Rounds   int    // iterations ℓ at which a map was found (when Solvable)
+	Map      sc.Map // the witnessing vertex map (when Solvable)
+	// Sizes of the explored subdivisions per round, for reporting.
+	ComplexSizes []int
+}
+
+// ErrBadInput reports an invalid configuration.
+var ErrBadInput = errors.New("solver: invalid input")
+
+// Solve searches for a chromatic simplicial map φ : L^ℓ(I) → O carried
+// by Δ for ℓ = 1..maxRounds. L is given by its membership predicate
+// (use task.Membership() from the affine package, or
+// chromatic.FullChr2Membership for the wait-free IIS model).
+func Solve(task *tasks.Task, member chromatic.Membership, maxRounds int) (*Result, error) {
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("%w: maxRounds %d", ErrBadInput, maxRounds)
+	}
+	tower := chromatic.NewTower(task.Input)
+	res := &Result{}
+	for round := 1; round <= maxRounds; round++ {
+		if err := tower.Extend(member); err != nil {
+			return nil, err
+		}
+		top := tower.Top()
+		res.ComplexSizes = append(res.ComplexSizes, top.NumVertices())
+		m, ok, err := searchMap(tower, task)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.Solvable = true
+			res.Rounds = round
+			res.Map = m
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// SolveAffine is a convenience wrapper taking the affine task directly.
+func SolveAffine(task *tasks.Task, l *affine.Task, maxRounds int) (*Result, error) {
+	return Solve(task, l.Membership(), maxRounds)
+}
+
+// ErrSearchLimit is returned when the backtracking search exceeds its
+// node budget: the instance is undecided, not proven unsolvable.
+var ErrSearchLimit = errors.New("solver: search node limit exceeded")
+
+// defaultNodeLimit bounds the backtracking search. The experiments'
+// instances resolve within a few hundred thousand nodes; anything
+// beyond this is reported as undecided rather than silently hanging.
+const defaultNodeLimit = 4_000_000
+
+// searchMap looks for a chromatic vertex map carried by Δ using MRV
+// backtracking with forward checking over facet constraints.
+func searchMap(tower *chromatic.Tower, task *tasks.Task) (sc.Map, bool, error) {
+	top := tower.Top()
+	vertices := top.VertexIDs()
+
+	// Initial domains: same color, vertex-level Δ.
+	outByColor := make(map[int][]sc.VertexID)
+	for _, o := range task.Output.VertexIDs() {
+		ov, _ := task.Output.Vertex(o)
+		outByColor[ov.Color] = append(outByColor[ov.Color], o)
+	}
+	domains := make(map[sc.VertexID][]sc.VertexID, len(vertices))
+	for _, v := range vertices {
+		vv, _ := top.Vertex(v)
+		carrier := tower.RootCarrier(v)
+		var cands []sc.VertexID
+		for _, o := range outByColor[vv.Color] {
+			if task.VertexAllowed(carrier, o) {
+				cands = append(cands, o)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, false, nil
+		}
+		domains[v] = cands
+	}
+
+	facets := top.Facets()
+	sort.Slice(facets, func(i, j int) bool { return facets[i].Key() < facets[j].Key() })
+	vertexFacets := make(map[sc.VertexID][]int)
+	for fi, f := range facets {
+		for _, v := range f {
+			vertexFacets[v] = append(vertexFacets[v], fi)
+		}
+	}
+	facetCarriers := make([]sc.Simplex, len(facets))
+	for i, f := range facets {
+		facetCarriers[i] = tower.RootCarrierOf(f)
+	}
+
+	s := &searcher{
+		task:          task,
+		facets:        facets,
+		facetCarriers: facetCarriers,
+		vertexFacets:  vertexFacets,
+		domains:       domains,
+		assign:        make(sc.Map, len(vertices)),
+		limit:         defaultNodeLimit,
+	}
+	ok, err := s.solve()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return s.assign, true, nil
+}
+
+// searcher is the forward-checking backtracker state.
+type searcher struct {
+	task          *tasks.Task
+	facets        []sc.Simplex
+	facetCarriers []sc.Simplex
+	vertexFacets  map[sc.VertexID][]int
+	domains       map[sc.VertexID][]sc.VertexID
+	assign        sc.Map
+	nodes         int
+	limit         int
+}
+
+// consistent reports whether giving value o to vertex w keeps the facet
+// image a Δ-allowed simplex of the output, given current assignments.
+func (s *searcher) consistent(fi int, w sc.VertexID, o sc.VertexID) bool {
+	f := s.facets[fi]
+	img := make([]sc.VertexID, 0, len(f))
+	for _, x := range f {
+		if x == w {
+			img = append(img, o)
+			continue
+		}
+		if ox, ok := s.assign[x]; ok {
+			img = append(img, ox)
+		}
+	}
+	simplex := sc.NewSimplex(img...)
+	if !s.task.Output.HasSimplex(simplex) {
+		return false
+	}
+	return s.task.SimplexAllowed(s.facetCarriers[fi], simplex)
+}
+
+// restrictions recorded for undo.
+type removal struct {
+	v   sc.VertexID
+	old []sc.VertexID
+}
+
+// forwardCheck prunes the domains of unassigned neighbors of v. It
+// returns the undo trail and whether all domains stayed non-empty.
+func (s *searcher) forwardCheck(v sc.VertexID) ([]removal, bool) {
+	var trail []removal
+	for _, fi := range s.vertexFacets[v] {
+		for _, w := range s.facets[fi] {
+			if w == v {
+				continue
+			}
+			if _, ok := s.assign[w]; ok {
+				continue
+			}
+			dom := s.domains[w]
+			kept := dom[:0:0]
+			for _, o := range dom {
+				if s.consistent(fi, w, o) {
+					kept = append(kept, o)
+				}
+			}
+			if len(kept) != len(dom) {
+				trail = append(trail, removal{v: w, old: dom})
+				s.domains[w] = kept
+				if len(kept) == 0 {
+					return trail, false
+				}
+			}
+		}
+	}
+	return trail, true
+}
+
+func (s *searcher) undo(trail []removal) {
+	for i := len(trail) - 1; i >= 0; i-- {
+		s.domains[trail[i].v] = trail[i].old
+	}
+}
+
+// pickVar selects the unassigned vertex with the smallest domain (MRV).
+func (s *searcher) pickVar() (sc.VertexID, bool) {
+	var best sc.VertexID
+	bestSize := -1
+	for v, dom := range s.domains {
+		if _, ok := s.assign[v]; ok {
+			continue
+		}
+		if bestSize < 0 || len(dom) < bestSize || (len(dom) == bestSize && v < best) {
+			best, bestSize = v, len(dom)
+		}
+	}
+	return best, bestSize >= 0
+}
+
+func (s *searcher) solve() (bool, error) {
+	v, any := s.pickVar()
+	if !any {
+		return true, nil
+	}
+	s.nodes++
+	if s.nodes > s.limit {
+		return false, fmt.Errorf("%w: %d nodes", ErrSearchLimit, s.nodes)
+	}
+	dom := s.domains[v]
+	for _, o := range dom {
+		// Check v's own facets against already-assigned vertices.
+		ok := true
+		for _, fi := range s.vertexFacets[v] {
+			if !s.consistent(fi, v, o) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s.assign[v] = o
+		trail, alive := s.forwardCheck(v)
+		if alive {
+			solved, err := s.solve()
+			if err != nil {
+				return false, err
+			}
+			if solved {
+				return true, nil
+			}
+		}
+		s.undo(trail)
+		delete(s.assign, v)
+	}
+	return false, nil
+}
+
+// VerifyWitness re-validates a returned map independently: simplicial,
+// chromatic, and carried by Δ on every simplex of the subdivision.
+// Used by tests to guard against solver bugs.
+func VerifyWitness(task *tasks.Task, member chromatic.Membership, rounds int, m sc.Map) error {
+	tower := chromatic.NewTower(task.Input)
+	for i := 0; i < rounds; i++ {
+		if err := tower.Extend(member); err != nil {
+			return err
+		}
+	}
+	top := tower.Top()
+	if err := m.VerifySimplicial(top, task.Output); err != nil {
+		return err
+	}
+	if err := m.VerifyChromatic(top, task.Output); err != nil {
+		return err
+	}
+	for _, s := range top.Simplices() {
+		img := m.Apply(s)
+		carrier := tower.RootCarrierOf(s)
+		for _, o := range img {
+			if !task.VertexAllowed(carrier, o) {
+				return fmt.Errorf("vertex map not carried at %v", s)
+			}
+		}
+		if !task.SimplexAllowed(carrier, img) {
+			return fmt.Errorf("simplex map not carried at %v", s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package tasks
+
+// Simplex agreement (Section 2): processes start on the vertices of s
+// and must output vertices of a sub-complex L ⊆ Chr² s forming a simplex
+// of L whose carrier is contained in the participating set. The affine
+// task (s, L, Δ) with Δ(σ) = L ∩ Chr²(σ) is exactly this task; solving
+// it iteratively is what the affine model L* means.
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/procs"
+	"repro/internal/sc"
+)
+
+// SimplexAgreement builds the task (s, L, Δ) for an affine task L. The
+// output complex is L's simplicial complex; Δ allows an output simplex
+// when its vertices' carriers lie inside the participating set.
+func SimplexAgreement(l *affine.Task) *Task {
+	out := l.Complex()
+	u := l.Universe()
+	return &Task{
+		Name:   fmt.Sprintf("simplex-agreement(%s)", l.Name),
+		N:      l.N(),
+		Input:  StandardInput(l.N()),
+		Output: out,
+		VertexAllowed: func(carrier sc.Simplex, o sc.VertexID) bool {
+			// The output vertex's witnessed participation must lie
+			// within the processes whose inputs the decider could have
+			// seen (input vertex ids equal process ids in
+			// StandardInput).
+			v := u.Vertex(o)
+			ok := true
+			v.Carrier.ForEach(func(q procs.ID) {
+				if !carrier.Contains(sc.VertexID(q)) {
+					ok = false
+				}
+			})
+			return ok
+		},
+		SimplexAllowed: func(carrier sc.Simplex, img sc.Simplex) bool {
+			return out.HasSimplex(img)
+		},
+	}
+}

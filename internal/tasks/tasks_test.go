@@ -1,0 +1,104 @@
+package tasks
+
+import (
+	"testing"
+
+	"repro/internal/sc"
+)
+
+func TestStandardInput(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		c := StandardInput(n)
+		if c.NumVertices() != n || !c.IsPure() || !c.IsChromatic() {
+			t.Errorf("n=%d: bad standard input", n)
+		}
+		if c.Dimension() != n-1 {
+			t.Errorf("n=%d: dim %d", n, c.Dimension())
+		}
+	}
+}
+
+func TestKSetConsensusOutputComplex(t *testing.T) {
+	cases := []struct {
+		n, k       int
+		wantFacets int
+	}{
+		{3, 1, 3},  // all-agree assignments
+		{3, 2, 21}, // 27 total minus 6 rainbow permutations
+		{3, 3, 27}, // everything
+		{2, 1, 2},
+		{2, 2, 4},
+	}
+	for _, c := range cases {
+		task := KSetConsensus(c.n, c.k)
+		if err := task.Validate(); err != nil {
+			t.Fatalf("n=%d k=%d: %v", c.n, c.k, err)
+		}
+		top := 0
+		for _, f := range task.Output.Facets() {
+			if f.Dim() == c.n-1 {
+				top++
+			}
+		}
+		if top != c.wantFacets {
+			t.Errorf("n=%d k=%d: output facets = %d, want %d", c.n, c.k, top, c.wantFacets)
+		}
+		if !task.Output.IsChromatic() {
+			t.Errorf("n=%d k=%d: output not chromatic", c.n, c.k)
+		}
+	}
+}
+
+func TestKSetConsensusDelta(t *testing.T) {
+	task := KSetConsensus(3, 2)
+	// Vertex (p1 decides 2) requires p3 (input 2) in the carrier.
+	o := sc.VertexID(0*3 + 2)
+	if task.VertexAllowed(sc.NewSimplex(0, 1), o) {
+		t.Errorf("deciding a non-participant's value must be invalid")
+	}
+	if !task.VertexAllowed(sc.NewSimplex(0, 2), o) {
+		t.Errorf("deciding a participant's value must be valid")
+	}
+	// Simplex with 3 distinct values violates 2-agreement.
+	img := sc.NewSimplex(0*3+0, 1*3+1, 2*3+2)
+	if task.SimplexAllowed(sc.NewSimplex(0, 1, 2), img) {
+		t.Errorf("3 distinct values must violate 2-set consensus")
+	}
+	img2 := sc.NewSimplex(0*3+0, 1*3+1, 2*3+1)
+	if !task.SimplexAllowed(sc.NewSimplex(0, 1, 2), img2) {
+		t.Errorf("2 distinct values must be allowed")
+	}
+}
+
+func TestConsensusName(t *testing.T) {
+	if Consensus(3).Name != "consensus(n=3)" {
+		t.Errorf("name wrong: %s", Consensus(3).Name)
+	}
+}
+
+func TestTrivialIdentity(t *testing.T) {
+	task := TrivialIdentity(3)
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !task.VertexAllowed(sc.NewSimplex(0), 0) {
+		t.Errorf("identity vertex must be allowed")
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	if err := (&Task{Name: "x", N: 2}).Validate(); err == nil {
+		t.Errorf("missing complexes must be rejected")
+	}
+	good := KSetConsensus(2, 1)
+	good.VertexAllowed = nil
+	if err := good.Validate(); err == nil {
+		t.Errorf("missing Δ must be rejected")
+	}
+	// Color count mismatch.
+	bad := KSetConsensus(2, 1)
+	bad.N = 3
+	if err := bad.Validate(); err == nil {
+		t.Errorf("color mismatch must be rejected")
+	}
+}

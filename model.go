@@ -1,0 +1,132 @@
+package fact
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/core"
+	"repro/internal/render"
+	"repro/internal/solver"
+	"repro/internal/tasks"
+)
+
+// Model bundles a fair adversary with its affine task R_A — the two
+// sides of the FACT equivalence — and exposes the paper's constructive
+// machinery.
+type Model struct {
+	adv *adversary.Adversary
+	u   *chromatic.Universe
+	ra  *affine.Task
+}
+
+// NewModel builds the affine task R_A (Definition 9, default guard
+// reading) for the adversary. An error is reported for adversaries
+// whose α(Π) = 0 (the affine task would be empty) — and callers should
+// check fairness with Adversary().IsFair() when the FACT guarantees are
+// required.
+func NewModel(a *adversary.Adversary) (*Model, error) {
+	u := chromatic.NewUniverse(a.N())
+	ra, err := affine.BuildRAForAdversary(u, a, affine.DefaultVariant)
+	if err != nil {
+		return nil, fmt.Errorf("model for %v: %w", a, err)
+	}
+	return &Model{adv: a, u: u, ra: ra}, nil
+}
+
+// Adversary returns the underlying adversary.
+func (m *Model) Adversary() *Adversary { return m.adv }
+
+// AffineTask returns R_A.
+func (m *Model) AffineTask() *AffineTask { return m.ra }
+
+// N returns the system size.
+func (m *Model) N() int { return m.adv.N() }
+
+// Setcon returns the set-consensus power of the model.
+func (m *Model) Setcon() int { return m.adv.Setcon() }
+
+// Alpha evaluates the agreement function at P.
+func (m *Model) Alpha(p ProcSet) int { return m.adv.Alpha(p) }
+
+// Solve decides whether the task is solvable in this model by searching
+// for a chromatic simplicial map from R_A^ℓ(I) to the output complex,
+// ℓ = 1..maxRounds (Theorem 16).
+func (m *Model) Solve(task *Task, maxRounds int) (*SolveResult, error) {
+	return solver.SolveAffine(task, m.ra, maxRounds)
+}
+
+// SolveKSetConsensus decides k-set consensus solvability — by the FACT
+// theorem the answer is k ≥ Setcon().
+func (m *Model) SolveKSetConsensus(k, maxRounds int) (*SolveResult, error) {
+	return m.Solve(tasks.KSetConsensus(m.N(), k), maxRounds)
+}
+
+// VerifyAlgorithmOne runs the Theorem 7 verification campaign: `trials`
+// random α-model schedules of Algorithm 1, checking liveness and that
+// outputs land in R_A.
+func (m *Model) VerifyAlgorithmOne(trials int, seed int64) *AlgOneReport {
+	return core.CheckAlgorithmOne(m.N(), m.adv.Alpha, m.ra, trials, seed)
+}
+
+// VerifySetConsensusSimulation runs the Section 6 campaign: α-adaptive
+// set consensus over iterations of R_A.
+func (m *Model) VerifySetConsensusSimulation(trials int, seed int64) *SetConsensusReport {
+	return core.CheckSetConsensus(m.ra, m.adv.Alpha, trials, seed)
+}
+
+// NewSetConsensusSim returns a Section 6 α-adaptive set-consensus
+// simulator over this model's iterated affine task.
+func (m *Model) NewSetConsensusSim() *SetConsensusSim {
+	return core.NewSetConsensusSim(m.ra, m.adv.Alpha)
+}
+
+// VerifyMuQ checks Properties 9, 10 and 12 of the μ_Q leader map
+// exhaustively over the facets of R_A.
+func (m *Model) VerifyMuQ() error {
+	if err := core.CheckMuQValidity(m.adv.Alpha, m.ra); err != nil {
+		return fmt.Errorf("validity (Property 9): %w", err)
+	}
+	if err := core.CheckMuQAgreement(m.adv.Alpha, m.ra); err != nil {
+		return fmt.Errorf("agreement (Property 10): %w", err)
+	}
+	if err := core.CheckMuQRobustness(m.adv.Alpha, m.ra); err != nil {
+		return fmt.Errorf("robustness (Property 12): %w", err)
+	}
+	return nil
+}
+
+// Stats summarizes the affine task's complex.
+func (m *Model) Stats() string {
+	return fmt.Sprintf("%s: %d facets, %d vertices", m.ra.Name, m.ra.NumFacets(), m.ra.VertexCensus())
+}
+
+// Figure kinds accepted by FigureSVG.
+const (
+	FigureChr         = "chr"         // Figure 1a: Chr s
+	FigureAffineTask  = "affine"      // Figures 1b and 7: R_A in blue
+	FigureContention  = "contention"  // Figure 4c: Cont² in red
+	FigureCritical    = "critical"    // Figure 5: critical simplices
+	FigureConcurrency = "concurrency" // Figure 6: concurrency map
+)
+
+// FigureSVG regenerates one of the paper's figures for this model
+// (3-process systems render best; larger n still produce valid SVG of
+// the front face).
+func (m *Model) FigureSVG(kind string) (string, error) {
+	switch kind {
+	case FigureChr:
+		return render.Chr1SVG(m.N()), nil
+	case FigureAffineTask:
+		return render.AffineTaskSVG(m.ra), nil
+	case FigureContention:
+		return render.Cont2SVG(m.N()), nil
+	case FigureCritical:
+		return render.CriticalSVG(m.N(), m.adv.Alpha, m.adv.String()), nil
+	case FigureConcurrency:
+		return render.ConcurrencySVG(m.N(), m.adv.Alpha, m.adv.String()), nil
+	default:
+		return "", fmt.Errorf("unknown figure kind %q", kind)
+	}
+}
