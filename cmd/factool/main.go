@@ -67,7 +67,8 @@ subcommands:
   affine     -n N -kind K [flags]           affine task R_A stats
   classify   -n N                           adversary census (Figure 2)
   figures    -dir DIR                       regenerate figure SVGs
-  solve      -n N -kind K [flags] -k K'     k-set consensus solvability
+  solve      -n N -kind K [flags] -k K' [-workers W]
+                                            k-set consensus solvability
   simulate   -n N -kind K [flags]           Algorithm 1 + §6 campaigns
 
 adversary kinds (-kind): waitfree | tres (-t) | kof (-k) | fig5b
@@ -262,6 +263,7 @@ func cmdSolve(args []string) error {
 	n, kind, t, k := adversaryFlags(fs)
 	kTask := fs.Int("ktask", 1, "k for k-set consensus")
 	rounds := fs.Int("rounds", 1, "maximum iterations of R_A")
+	workers := fs.Int("workers", 0, "engine workers (0 = all CPUs, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -273,6 +275,7 @@ func cmdSolve(args []string) error {
 	if err != nil {
 		return err
 	}
+	m.SetWorkers(*workers)
 	fmt.Printf("model %v: setcon = %d (FACT predicts solvable ⇔ k ≥ setcon)\n", a, m.Setcon())
 	res, err := m.SolveKSetConsensus(*kTask, *rounds)
 	if err != nil {

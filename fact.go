@@ -48,6 +48,10 @@ type (
 	Task = tasks.Task
 	// SolveResult reports a FACT solvability decision.
 	SolveResult = solver.Result
+	// SolverOptions tunes the solvability engine (workers, memoization).
+	SolverOptions = solver.Options
+	// TowerCache memoizes iterated subdivisions R_A^ℓ(I) across queries.
+	TowerCache = chromatic.TowerCache
 	// AlgOneReport aggregates an Algorithm 1 verification campaign.
 	AlgOneReport = core.AlgOneReport
 	// SetConsensusReport aggregates a Section 6 simulation campaign.
@@ -82,6 +86,17 @@ var (
 	SetOf = procs.SetOf
 	// FullSet is {p1..pn}.
 	FullSet = procs.FullSet
+)
+
+// Engine helpers, re-exported.
+var (
+	// NewTowerCache creates an empty iterated-subdivision cache.
+	NewTowerCache = chromatic.NewTowerCache
+	// DefaultTowerCache is the process-wide subdivision cache used by
+	// Model.Solve and solver.SolveAffine.
+	DefaultTowerCache = chromatic.DefaultTowerCache
+	// DefaultWorkers returns the default engine worker count (one per CPU).
+	DefaultWorkers = chromatic.DefaultWorkers
 )
 
 // Task constructors, re-exported.

@@ -7,8 +7,12 @@ package affine
 // agreement and affine tasks").
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
+	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/chromatic"
 	"repro/internal/procs"
@@ -30,7 +34,15 @@ type Task struct {
 	facets []chromatic.Run2
 
 	keys map[string]bool // run keys of the facets
-	cplx *sc.Complex     // lazy closure of the facets
+
+	cplxOnce sync.Once
+	cplx     *sc.Complex // lazy closure of the facets
+
+	sigOnce sync.Once
+	sig     string
+
+	restMu     sync.Mutex
+	restricted map[procs.Set][]chromatic.Run2
 }
 
 // NewTask builds an affine task from explicit facet runs.
@@ -79,15 +91,61 @@ func (t *Task) ContainsRun(r chromatic.Run2) bool { return t.keys[runKey(r)] }
 // Complex materializes the task as a simplicial complex (the closure of
 // its facets, including all boundary faces). Cached after first call.
 func (t *Task) Complex() *sc.Complex {
-	if t.cplx != nil {
-		return t.cplx
+	t.cplxOnce.Do(func() {
+		c := sc.NewComplex(t.n)
+		for _, r := range t.facets {
+			chromatic.AddFacetToComplex(t.u, c, r)
+		}
+		t.cplx = c
+	})
+	return t.cplx
+}
+
+// Signature returns a deterministic identifier of the task's membership
+// semantics: a digest of the system size and the sorted facet run keys.
+// Two tasks with equal signatures accept exactly the same runs, so the
+// signature keys the iterated-subdivision cache (chromatic.TowerCache).
+func (t *Task) Signature() string {
+	t.sigOnce.Do(func() {
+		keys := make([]string, 0, len(t.keys))
+		for k := range t.keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		h := sha256.New()
+		fmt.Fprintf(h, "affine:%d;", t.n)
+		for _, k := range keys {
+			h.Write([]byte(k))
+			h.Write([]byte{0})
+		}
+		t.sig = hex.EncodeToString(h.Sum(nil))
+	})
+	return t.sig
+}
+
+// RestrictedFacets enumerates the runs over the participating set whose
+// simplices belong to the task: the facets of L ∩ Chr²(P). Memoized per
+// participant set and shared by every simulation over this task; safe
+// for concurrent use.
+func (t *Task) RestrictedFacets(p procs.Set) []chromatic.Run2 {
+	t.restMu.Lock()
+	defer t.restMu.Unlock()
+	if t.restricted == nil {
+		t.restricted = make(map[procs.Set][]chromatic.Run2)
 	}
-	c := sc.NewComplex(t.n)
-	for _, r := range t.facets {
-		chromatic.AddFacetToComplex(t.u, c, r)
+	if runs, ok := t.restricted[p]; ok {
+		return runs
 	}
-	t.cplx = c
-	return c
+	var runs []chromatic.Run2
+	member := t.Membership()
+	chromatic.ForEachRun2(p, func(r chromatic.Run2) bool {
+		if member(r) {
+			runs = append(runs, r)
+		}
+		return true
+	})
+	t.restricted[p] = runs
+	return runs
 }
 
 // ContainsSimplex reports whether the interned vertex set is a simplex
@@ -102,10 +160,14 @@ func (t *Task) ContainsSimplex(ids []sc.VertexID) bool {
 // Membership returns the structural predicate used to apply this affine
 // task to arbitrary chromatic complexes (chromatic.Tower.Extend): a
 // 2-round run over a ground set of colors is accepted iff its simplex
-// belongs to the task.
+// belongs to the task. The returned predicate is safe for concurrent
+// use: the task complex is materialized eagerly here, so evaluations
+// only read it (and intern through the lock-protected Universe).
 func (t *Task) Membership() chromatic.Membership {
+	t.Complex()
+	full := procs.FullSet(t.n)
 	return func(r chromatic.Run2) bool {
-		if r.Ground() == procs.FullSet(t.n) {
+		if r.Ground() == full {
 			return t.keys[runKey(r)]
 		}
 		return t.ContainsSimplex(r.FacetIDs(t.u))
@@ -154,7 +216,14 @@ func (t *Task) VertexCensus() int {
 // (use the standard simplex for the affine model of Section 2) and
 // returns the tower with carrier tracking.
 func (t *Task) Iterate(input *sc.Complex, m int) (*chromatic.Tower, error) {
+	return t.IterateWorkers(input, m, 0)
+}
+
+// IterateWorkers is Iterate with an explicit subdivision worker count
+// (<= 0 selects chromatic.DefaultWorkers(), 1 the serial path).
+func (t *Task) IterateWorkers(input *sc.Complex, m, workers int) (*chromatic.Tower, error) {
 	tower := chromatic.NewTower(input)
+	tower.SetWorkers(workers)
 	member := t.Membership()
 	for i := 0; i < m; i++ {
 		if err := tower.Extend(member); err != nil {

@@ -1,0 +1,94 @@
+package chromatic
+
+// TowerCache memoizes iterated subdivisions R_A^ℓ(I) across solvability
+// queries: an entry is keyed by the membership predicate's signature and
+// the input complex's hash, and holds one Tower that is extended lazily
+// and monotonically. Repeated SolveAffine calls, the core experiments
+// and the factool subcommands therefore build each level exactly once.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sc"
+)
+
+// TowerCache is a concurrency-safe cache of iterated subdivisions.
+// The zero value is not usable; create instances with NewTowerCache.
+type TowerCache struct {
+	mu      sync.Mutex
+	entries map[string]*CachedTower
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// DefaultTowerCache is the process-wide cache used by solver.SolveAffine
+// and the Model convenience APIs.
+var DefaultTowerCache = NewTowerCache()
+
+// NewTowerCache creates an empty cache.
+func NewTowerCache() *TowerCache {
+	return &TowerCache{entries: make(map[string]*CachedTower)}
+}
+
+// CachedTower is a shared, lazily extended tower. Extension is
+// serialized internally; the underlying Tower may be read concurrently
+// up to any height already ensured.
+type CachedTower struct {
+	mu    sync.Mutex
+	tower *Tower
+}
+
+// Acquire returns the cached tower for (sig, input), creating it on a
+// miss. sig must uniquely determine the membership predicate (use
+// affine.Task.Signature for affine tasks); the input complex is hashed.
+// workers configures extensions of a freshly created tower; a cache hit
+// keeps the existing tower's worker count.
+func (c *TowerCache) Acquire(sig string, input *sc.Complex, workers int) *CachedTower {
+	key := sig + "\x00" + input.Hash()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ct, ok := c.entries[key]; ok {
+		c.hits.Add(1)
+		return ct
+	}
+	c.misses.Add(1)
+	tower := NewTower(input)
+	tower.SetWorkers(workers)
+	ct := &CachedTower{tower: tower}
+	c.entries[key] = ct
+	return ct
+}
+
+// Stats reports cache hits and misses (Acquire calls that found,
+// respectively created, an entry).
+func (c *TowerCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached towers.
+func (c *TowerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Tower returns the underlying tower. Callers must only read levels up
+// to a height previously ensured via EnsureHeight.
+func (ct *CachedTower) Tower() *Tower { return ct.tower }
+
+// EnsureHeight extends the tower to at least the given height using the
+// membership predicate, which must match the signature the tower was
+// acquired under. Concurrent calls are serialized; already-built levels
+// are never rebuilt.
+func (ct *CachedTower) EnsureHeight(member Membership, height int) error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	for ct.tower.Height() < height {
+		if err := ct.tower.Extend(member); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/procs"
 	"repro/internal/sc"
@@ -78,9 +79,13 @@ type Vertex2 struct {
 
 // Universe interns Chr² s vertices into stable vertex IDs so that all
 // sub-complexes of Chr² s for a given n share a vertex identity space.
-// Not safe for concurrent mutation; share read-only after construction.
+// Safe for concurrent use: the parallel subdivision engine interns
+// candidate vertices from many workers at once. IDs of vertices interned
+// concurrently depend on scheduling, but membership testing — the only
+// concurrent consumer — never relies on which fresh ID a candidate got.
 type Universe struct {
 	n    int
+	mu   sync.RWMutex
 	ids  map[string]sc.VertexID
 	data []Vertex2
 }
@@ -94,7 +99,11 @@ func NewUniverse(n int) *Universe {
 func (u *Universe) N() int { return u.n }
 
 // NumVertices returns the number of interned vertices.
-func (u *Universe) NumVertices() int { return len(u.data) }
+func (u *Universe) NumVertices() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.data)
+}
 
 // contentKey canonically serializes (color, content).
 func contentKey(color procs.ID, content map[procs.ID]procs.Set) string {
@@ -117,7 +126,10 @@ func contentKey(color procs.ID, content map[procs.ID]procs.Set) string {
 // it must include color itself (self-inclusion).
 func (u *Universe) Intern(color procs.ID, content map[procs.ID]procs.Set) sc.VertexID {
 	key := contentKey(color, content)
-	if id, ok := u.ids[key]; ok {
+	u.mu.RLock()
+	id, ok := u.ids[key]
+	u.mu.RUnlock()
+	if ok {
 		return id
 	}
 	v2 := Vertex2{Color: color, Content: make(map[procs.ID]procs.Set, len(content))}
@@ -127,7 +139,12 @@ func (u *Universe) Intern(color procs.ID, content map[procs.ID]procs.Set) sc.Ver
 		v2.Carrier = v2.Carrier.Union(view)
 	}
 	v2.View1 = content[color]
-	id := sc.VertexID(len(u.data))
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if id, ok := u.ids[key]; ok {
+		return id
+	}
+	id = sc.VertexID(len(u.data))
 	u.data = append(u.data, v2)
 	u.ids[key] = id
 	return id
@@ -135,6 +152,8 @@ func (u *Universe) Intern(color procs.ID, content map[procs.ID]procs.Set) sc.Ver
 
 // Vertex returns the structured datum of an interned vertex.
 func (u *Universe) Vertex(id sc.VertexID) Vertex2 {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	return u.data[int(id)]
 }
 

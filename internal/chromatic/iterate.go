@@ -4,12 +4,23 @@ package chromatic
 // chromatic base complexes, with carrier tracking. This powers the
 // solvability side of the FACT theorem: building R_A^ℓ(I) from an input
 // complex I and searching for a simplicial map to the output complex.
+//
+// Construction fans out across a bounded worker pool: the unit of work
+// is one (base face, first-round schedule) pair, whose second-round
+// schedules a worker enumerates against the membership predicate. Each
+// worker dedups the vertices it produces in a private shard; shards are
+// merged into the global intern table in the serial enumeration order,
+// so the resulting complex — vertex IDs, labels, carriers, simplices —
+// is byte-identical for every worker count.
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/procs"
 	"repro/internal/sc"
@@ -18,10 +29,18 @@ import (
 // Membership decides whether a given 2-round run (over a ground set of
 // colors) yields a simplex of the affine task L ⊆ Chr² s. The full Chr²
 // subdivision is the constant-true predicate.
+//
+// Predicates are evaluated concurrently by the parallel subdivision
+// engine and must be safe for simultaneous calls from multiple
+// goroutines (affine.Task.Membership and FullChr2Membership are).
 type Membership func(run Run2) bool
 
 // FullChr2Membership accepts every run: L = Chr² s.
 var FullChr2Membership Membership = func(Run2) bool { return true }
+
+// DefaultWorkers is the worker count used when callers pass workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Iterated is one level of affine-task application over a base complex:
 // the sub-complex of Chr²(base) selected by the membership predicate,
@@ -41,14 +60,205 @@ type Iterated struct {
 // ErrNotChromaticBase is returned when the base complex is not chromatic.
 var ErrNotChromaticBase = errors.New("base complex is not chromatic")
 
-// ApplyAffine computes L(base): for every simplex σ of the base complex
-// and every 2-round run over χ(σ) accepted by member, the corresponding
-// facet of Chr²(σ) is added. Carriers of new vertices point into base.
+// ApplyAffine computes L(base) with the default worker count: for every
+// simplex σ of the base complex and every 2-round run over χ(σ) accepted
+// by member, the corresponding facet of Chr²(σ) is added. Carriers of
+// new vertices point into base.
 func ApplyAffine(base *sc.Complex, member Membership) (*Iterated, error) {
-	return applyAffineImpl(base, member)
+	return ApplyAffineWorkers(base, member, 0)
 }
 
-// addRun interns one run's facet.
+// ApplyAffineWorkers is ApplyAffine with an explicit worker count.
+// workers <= 0 selects DefaultWorkers(); workers == 1 runs the serial
+// reference path. The output is byte-identical across worker counts.
+func ApplyAffineWorkers(base *sc.Complex, member Membership, workers int) (*Iterated, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	faces, err := chromaticFaces(base)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterated{
+		Base:    base,
+		Complex: sc.NewComplex(base.Colors()),
+		carrier: make(map[sc.VertexID]sc.Simplex),
+		content: make(map[sc.VertexID]map[sc.VertexID]sc.Simplex),
+		interns: make(map[string]sc.VertexID),
+	}
+	if workers == 1 {
+		for _, f := range faces {
+			ForEachRun2(f.ground, func(r Run2) bool {
+				if member(r) {
+					it.addRun(r, f.byColor)
+				}
+				return true
+			})
+		}
+		return it, nil
+	}
+	it.applyParallel(faces, member, workers)
+	return it, nil
+}
+
+// baseFace is one distinct chromatic face of the base complex, with its
+// color -> base vertex index.
+type baseFace struct {
+	ground  procs.Set
+	byColor map[procs.ID]sc.VertexID
+}
+
+// chromaticFaces collects the distinct faces of the base complex in the
+// deterministic serial enumeration order (facets, then subset masks),
+// validating chromaticity along the way.
+func chromaticFaces(base *sc.Complex) ([]baseFace, error) {
+	if !base.IsChromatic() {
+		return nil, ErrNotChromaticBase
+	}
+	var faces []baseFace
+	seenFaces := make(map[string]bool)
+	for _, facet := range base.Facets() {
+		for _, face := range facet.Faces() {
+			fk := face.Key()
+			if seenFaces[fk] {
+				continue
+			}
+			seenFaces[fk] = true
+			byColor := make(map[procs.ID]sc.VertexID, len(face))
+			var ground procs.Set
+			for _, v := range face {
+				vert, _ := base.Vertex(v)
+				p := procs.ID(vert.Color)
+				if ground.Contains(p) {
+					return nil, ErrNotChromaticBase
+				}
+				byColor[p] = v
+				ground = ground.Add(p)
+			}
+			faces = append(faces, baseFace{ground: ground, byColor: byColor})
+		}
+	}
+	return faces, nil
+}
+
+// vertexRec is a worker-shard record of one subdivision vertex, keyed by
+// the same canonical string the serial interner uses.
+type vertexRec struct {
+	key     string
+	color   int
+	content map[sc.VertexID]sc.Simplex
+}
+
+// runUnit is the parallel work unit: one base face crossed with one
+// first-round schedule. Workers enumerate its second-round schedules.
+type runUnit struct {
+	face int
+	r1   procs.OrderedPartition
+}
+
+// applyParallel fans the run enumeration out over the worker pool and
+// merges the per-unit results in serial enumeration order.
+func (it *Iterated) applyParallel(faces []baseFace, member Membership, workers int) {
+	partsByGround := make(map[procs.Set][]procs.OrderedPartition)
+	for _, f := range faces {
+		if _, ok := partsByGround[f.ground]; !ok {
+			partsByGround[f.ground] = procs.EnumerateOrderedPartitions(f.ground)
+		}
+	}
+	var units []runUnit
+	for fi, f := range faces {
+		for _, r1 := range partsByGround[f.ground] {
+			units = append(units, runUnit{face: fi, r1: r1})
+		}
+	}
+	// results[i] holds the accepted facets of unit i, each facet a list
+	// of shard records in ground order.
+	results := make([][][]*vertexRec, len(units))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shard := make(map[string]*vertexRec)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				u := units[i]
+				f := faces[u.face]
+				// Within a unit the first round is fixed, so a vertex is
+				// determined by (color, round-2 view): memoize records
+				// per (p, View²) instead of rebuilding them per run.
+				views1 := u.r1.Views()
+				memo := make(map[uint64]*vertexRec)
+				var accepted [][]*vertexRec
+				for _, r2 := range partsByGround[f.ground] {
+					r := Run2{R1: u.r1, R2: r2}
+					if !member(r) {
+						continue
+					}
+					recs := make([]*vertexRec, 0, f.ground.Size())
+					f.ground.ForEach(func(p procs.ID) {
+						view2, _ := r2.ViewOf(p)
+						mk := uint64(p)<<32 | uint64(view2)
+						rec, ok := memo[mk]
+						if !ok {
+							rec = buildRec(p, view2, views1, f.byColor, shard)
+							memo[mk] = rec
+						}
+						recs = append(recs, rec)
+					})
+					accepted = append(accepted, recs)
+				}
+				results[i] = accepted
+			}
+		}()
+	}
+	wg.Wait()
+	for _, accepted := range results {
+		for _, recs := range accepted {
+			ids := make([]sc.VertexID, len(recs))
+			for j, rec := range recs {
+				ids[j] = it.internRec(rec)
+			}
+			_ = it.Complex.AddSimplex(ids...)
+		}
+	}
+}
+
+// buildRec computes the shard record of the vertex (p, view2) under the
+// unit's fixed first-round views, reusing the worker's shard so vertices
+// repeated across units are built once per worker.
+func buildRec(p procs.ID, view2 procs.Set, views1 map[procs.ID]procs.Set,
+	byColor map[procs.ID]sc.VertexID, shard map[string]*vertexRec) *vertexRec {
+	content := make(map[sc.VertexID]sc.Simplex, view2.Size())
+	view2.ForEach(func(q procs.ID) {
+		view := views1[q]
+		baseView := make(sc.Simplex, 0, view.Size())
+		view.ForEach(func(x procs.ID) { baseView = append(baseView, byColor[x]) })
+		content[byColor[q]] = sc.NewSimplex(baseView...)
+	})
+	key := iterKey(byColor[p], content)
+	if rec, ok := shard[key]; ok {
+		return rec
+	}
+	rec := &vertexRec{key: key, color: int(p), content: content}
+	shard[key] = rec
+	return rec
+}
+
+// internRec interns one shard record into the global table, assigning
+// IDs in merge order — identical to the serial first-seen order.
+func (it *Iterated) internRec(rec *vertexRec) sc.VertexID {
+	if id, ok := it.interns[rec.key]; ok {
+		return id
+	}
+	return it.register(rec.key, rec.color, rec.content)
+}
+
+// addRun interns one run's facet (serial path).
 func (it *Iterated) addRun(r Run2, byColor map[procs.ID]sc.VertexID) {
 	views1 := r.R1.Views()
 	ground := r.Ground()
@@ -74,6 +284,11 @@ func (it *Iterated) intern(baseV sc.VertexID, color int, content map[sc.VertexID
 	if id, ok := it.interns[key]; ok {
 		return id
 	}
+	return it.register(key, color, content)
+}
+
+// register assigns the next vertex ID to a fresh (key, content) pair.
+func (it *Iterated) register(key string, color int, content map[sc.VertexID]sc.Simplex) sc.VertexID {
 	id := it.next
 	it.next++
 	var carrier sc.Simplex
@@ -123,54 +338,96 @@ func (it *Iterated) SimplexCarrier(s sc.Simplex) sc.Simplex {
 
 // Tower is an iterated application L^ℓ(I): level 0 is the input complex,
 // each Extend applies an affine task (or full Chr²) to the top.
+//
+// A Tower may be shared by concurrent readers (carrier queries and
+// level access are mutex-guarded); Extend calls must be serialized by
+// the caller — TowerCache does so for cached towers.
 type Tower struct {
 	Input  *sc.Complex
 	Levels []*Iterated
 
+	workers   int
+	mu        sync.Mutex
 	rootCache map[int]map[sc.VertexID]sc.Simplex
 }
 
-// NewTower starts a tower over the given input complex.
+// NewTower starts a tower over the given input complex using the default
+// worker count for extensions.
 func NewTower(input *sc.Complex) *Tower {
 	return &Tower{Input: input, rootCache: make(map[int]map[sc.VertexID]sc.Simplex)}
 }
 
+// SetWorkers fixes the worker count used by subsequent Extend calls
+// (<= 0 selects DefaultWorkers()).
+func (t *Tower) SetWorkers(workers int) { t.workers = workers }
+
 // Top returns the current top complex (the input when no levels exist).
 func (t *Tower) Top() *sc.Complex {
-	if len(t.Levels) == 0 {
+	return t.LevelComplex(t.Height())
+}
+
+// LevelComplex returns the complex at the given level: the input at
+// level 0, L^level(I) above.
+func (t *Tower) LevelComplex(level int) *sc.Complex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if level == 0 {
 		return t.Input
 	}
-	return t.Levels[len(t.Levels)-1].Complex
+	return t.Levels[level-1].Complex
 }
 
 // Extend applies one round of the affine task to the top of the tower.
 func (t *Tower) Extend(member Membership) error {
-	it, err := applyAffineImpl(t.Top(), member)
+	it, err := ApplyAffineWorkers(t.Top(), member, t.workers)
 	if err != nil {
 		return err
 	}
+	t.mu.Lock()
 	t.Levels = append(t.Levels, it)
+	t.mu.Unlock()
 	return nil
 }
 
 // Height returns the number of affine-task applications.
-func (t *Tower) Height() int { return len(t.Levels) }
+func (t *Tower) Height() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.Levels)
+}
 
 // RootCarrier returns the carrier of a top-level vertex all the way down
 // in the input complex.
 func (t *Tower) RootCarrier(v sc.VertexID) sc.Simplex {
-	return t.carrierAt(len(t.Levels), v)
+	return t.RootCarrierAt(t.Height(), v)
+}
+
+// RootCarrierAt returns the input-complex carrier of a vertex of the
+// level-`level` complex.
+func (t *Tower) RootCarrierAt(level int, v sc.VertexID) sc.Simplex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.carrierAt(level, v)
 }
 
 // RootCarrierOf returns the root carrier of a top-level simplex.
 func (t *Tower) RootCarrierOf(s sc.Simplex) sc.Simplex {
+	return t.RootCarrierOfAt(t.Height(), s)
+}
+
+// RootCarrierOfAt returns the root carrier of a simplex of the
+// level-`level` complex.
+func (t *Tower) RootCarrierOfAt(level int, s sc.Simplex) sc.Simplex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var out sc.Simplex
 	for _, v := range s {
-		out = out.Union(t.RootCarrier(v))
+		out = out.Union(t.carrierAt(level, v))
 	}
 	return out
 }
 
+// carrierAt computes carriers recursively; callers must hold t.mu.
 func (t *Tower) carrierAt(level int, v sc.VertexID) sc.Simplex {
 	if level == 0 {
 		return sc.Simplex{v}
@@ -189,52 +446,4 @@ func (t *Tower) carrierAt(level int, v sc.VertexID) sc.Simplex {
 	}
 	t.rootCache[level][v] = out
 	return out
-}
-
-// applyAffineImpl is the race-free implementation used by Tower.Extend
-// and (via a thin wrapper) by ApplyAffine.
-func applyAffineImpl(base *sc.Complex, member Membership) (*Iterated, error) {
-	if !base.IsChromatic() {
-		return nil, ErrNotChromaticBase
-	}
-	it := &Iterated{
-		Base:    base,
-		Complex: sc.NewComplex(base.Colors()),
-		carrier: make(map[sc.VertexID]sc.Simplex),
-		content: make(map[sc.VertexID]map[sc.VertexID]sc.Simplex),
-		interns: make(map[string]sc.VertexID),
-	}
-	seenFaces := make(map[string]bool)
-	for _, facet := range base.Facets() {
-		for _, face := range facet.Faces() {
-			fk := face.Key()
-			if seenFaces[fk] {
-				continue
-			}
-			seenFaces[fk] = true
-			byColor := make(map[procs.ID]sc.VertexID, len(face))
-			var ground procs.Set
-			chromaticFace := true
-			for _, v := range face {
-				vert, _ := base.Vertex(v)
-				p := procs.ID(vert.Color)
-				if ground.Contains(p) {
-					chromaticFace = false
-					break
-				}
-				byColor[p] = v
-				ground = ground.Add(p)
-			}
-			if !chromaticFace {
-				return nil, ErrNotChromaticBase
-			}
-			ForEachRun2(ground, func(r Run2) bool {
-				if member(r) {
-					it.addRun(r, byColor)
-				}
-				return true
-			})
-		}
-	}
-	return it, nil
 }

@@ -29,36 +29,19 @@ var (
 type SetConsensusSim struct {
 	task  *affine.Task
 	alpha adversary.AlphaFunc
-
-	// restricted facet cache per participating set
-	restricted map[procs.Set][]chromatic.Run2
 }
 
 // NewSetConsensusSim prepares a simulation over the given affine task.
 func NewSetConsensusSim(task *affine.Task, alpha adversary.AlphaFunc) *SetConsensusSim {
-	return &SetConsensusSim{
-		task:       task,
-		alpha:      alpha,
-		restricted: make(map[procs.Set][]chromatic.Run2),
-	}
+	return &SetConsensusSim{task: task, alpha: alpha}
 }
 
 // RestrictedFacets enumerates the runs over the participating set whose
-// simplices belong to the task: the facets of L ∩ Chr²(P). Cached.
+// simplices belong to the task: the facets of L ∩ Chr²(P). Memoized on
+// the task itself, so every simulation and experiment over the same
+// affine task shares one enumeration per participant set.
 func (s *SetConsensusSim) RestrictedFacets(p procs.Set) []chromatic.Run2 {
-	if runs, ok := s.restricted[p]; ok {
-		return runs
-	}
-	var runs []chromatic.Run2
-	member := s.task.Membership()
-	chromatic.ForEachRun2(p, func(r chromatic.Run2) bool {
-		if member(r) {
-			runs = append(runs, r)
-		}
-		return true
-	})
-	s.restricted[p] = runs
-	return runs
+	return s.task.RestrictedFacets(p)
 }
 
 // SimResult reports one simulated execution.

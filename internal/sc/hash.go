@@ -1,0 +1,37 @@
+package sc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Hash returns a deterministic digest of the complex: its color count,
+// vertex set (IDs, colors, labels) and simplex set. Two complexes have
+// equal hashes iff they are Equal (up to SHA-256 collisions), so the
+// digest is usable as a memoization key for iterated subdivisions.
+func (c *Complex) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(c.colors))
+	h.Write(buf[:])
+	for _, id := range c.VertexIDs() {
+		v := c.verts[id]
+		binary.BigEndian.PutUint32(buf[:4], uint32(id))
+		binary.BigEndian.PutUint32(buf[4:], uint32(v.Color))
+		h.Write(buf[:])
+		h.Write([]byte(v.Label))
+		h.Write([]byte{0})
+	}
+	keys := make([]string, 0, len(c.simplices))
+	for k := range c.simplices {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{1})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -5,6 +5,16 @@
 // the corresponding fair adversarial model; exhaustive failure up to a
 // bound is the (finite) evidence used by the experiments for the
 // impossibility direction.
+//
+// The engine is concurrent on both sides of the decision: the iterated
+// subdivision L^ℓ(I) is built by the parallel chromatic engine (and
+// memoized across queries via chromatic.TowerCache), and the map search
+// partitions its backtracking frontier across workers with early cancel
+// once a witness is found. Results are deterministic: on instances
+// decided within the node budget, every worker count yields the same
+// decision and the same witness map (near the budget, splitting the
+// tree can decide instances the serial budget cannot — see
+// Options.NodeLimit).
 package solver
 
 import (
@@ -27,29 +37,97 @@ type Result struct {
 	ComplexSizes []int
 }
 
+// Options tunes the engine. The zero value selects the defaults.
+type Options struct {
+	// Workers bounds the worker pools of both the subdivision
+	// construction and the map search. <= 0 selects
+	// chromatic.DefaultWorkers(); 1 forces the serial reference paths.
+	Workers int
+
+	// Cache, when non-nil, memoizes the iterated subdivisions L^ℓ(I)
+	// under CacheKey so repeated queries against the same model and
+	// input reuse them. CacheKey must uniquely determine the membership
+	// predicate (affine.Task.Signature provides it); an empty CacheKey
+	// disables caching.
+	Cache    *chromatic.TowerCache
+	CacheKey string
+
+	// NodeLimit bounds the backtracking search: the whole search when
+	// serial, each frontier subtree when parallel. Splitting therefore
+	// grants more total budget — a budget-bound instance undecided at
+	// Workers=1 (ErrSearchLimit) may be decided at higher worker
+	// counts. Decisions within the budget are identical regardless.
+	// <= 0 selects the package default.
+	NodeLimit int
+}
+
 // ErrBadInput reports an invalid configuration.
 var ErrBadInput = errors.New("solver: invalid input")
 
 // Solve searches for a chromatic simplicial map φ : L^ℓ(I) → O carried
-// by Δ for ℓ = 1..maxRounds. L is given by its membership predicate
-// (use task.Membership() from the affine package, or
-// chromatic.FullChr2Membership for the wait-free IIS model).
+// by Δ for ℓ = 1..maxRounds with default options. L is given by its
+// membership predicate (use task.Membership() from the affine package,
+// or chromatic.FullChr2Membership for the wait-free IIS model).
 func Solve(task *tasks.Task, member chromatic.Membership, maxRounds int) (*Result, error) {
+	return SolveWith(task, member, maxRounds, Options{})
+}
+
+// SolveAffine is a convenience wrapper taking the affine task directly.
+// Iterated subdivisions are memoized in chromatic.DefaultTowerCache
+// under the task's signature, so repeated calls — across tasks (I, O, Δ)
+// sharing the same input and model — rebuild nothing.
+func SolveAffine(task *tasks.Task, l *affine.Task, maxRounds int) (*Result, error) {
+	return SolveAffineWith(task, l, maxRounds, Options{Cache: chromatic.DefaultTowerCache})
+}
+
+// SolveAffineWith is SolveAffine with explicit options. When opts.Cache
+// is set and opts.CacheKey is empty, the affine task's signature is
+// used as the key.
+func SolveAffineWith(task *tasks.Task, l *affine.Task, maxRounds int, opts Options) (*Result, error) {
+	if opts.Cache != nil && opts.CacheKey == "" {
+		opts.CacheKey = l.Signature()
+	}
+	return SolveWith(task, l.Membership(), maxRounds, opts)
+}
+
+// SolveWith is Solve with explicit options.
+func SolveWith(task *tasks.Task, member chromatic.Membership, maxRounds int, opts Options) (*Result, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
 	if maxRounds < 1 {
 		return nil, fmt.Errorf("%w: maxRounds %d", ErrBadInput, maxRounds)
 	}
-	tower := chromatic.NewTower(task.Input)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = chromatic.DefaultWorkers()
+	}
+	limit := opts.NodeLimit
+	if limit <= 0 {
+		limit = defaultNodeLimit
+	}
+	var (
+		tower  *chromatic.Tower
+		cached *chromatic.CachedTower
+	)
+	if opts.Cache != nil && opts.CacheKey != "" {
+		cached = opts.Cache.Acquire(opts.CacheKey, task.Input, workers)
+		tower = cached.Tower()
+	} else {
+		tower = chromatic.NewTower(task.Input)
+		tower.SetWorkers(workers)
+	}
 	res := &Result{}
 	for round := 1; round <= maxRounds; round++ {
-		if err := tower.Extend(member); err != nil {
+		if cached != nil {
+			if err := cached.EnsureHeight(member, round); err != nil {
+				return nil, err
+			}
+		} else if err := tower.Extend(member); err != nil {
 			return nil, err
 		}
-		top := tower.Top()
-		res.ComplexSizes = append(res.ComplexSizes, top.NumVertices())
-		m, ok, err := searchMap(tower, task)
+		res.ComplexSizes = append(res.ComplexSizes, tower.LevelComplex(round).NumVertices())
+		m, ok, err := searchMap(tower, round, task, workers, limit)
 		if err != nil {
 			return nil, err
 		}
@@ -63,11 +141,6 @@ func Solve(task *tasks.Task, member chromatic.Membership, maxRounds int) (*Resul
 	return res, nil
 }
 
-// SolveAffine is a convenience wrapper taking the affine task directly.
-func SolveAffine(task *tasks.Task, l *affine.Task, maxRounds int) (*Result, error) {
-	return Solve(task, l.Membership(), maxRounds)
-}
-
 // ErrSearchLimit is returned when the backtracking search exceeds its
 // node budget: the instance is undecided, not proven unsolvable.
 var ErrSearchLimit = errors.New("solver: search node limit exceeded")
@@ -77,10 +150,12 @@ var ErrSearchLimit = errors.New("solver: search node limit exceeded")
 // beyond this is reported as undecided rather than silently hanging.
 const defaultNodeLimit = 4_000_000
 
-// searchMap looks for a chromatic vertex map carried by Δ using MRV
-// backtracking with forward checking over facet constraints.
-func searchMap(tower *chromatic.Tower, task *tasks.Task) (sc.Map, bool, error) {
-	top := tower.Top()
+// searchMap looks for a chromatic vertex map from the level-`level`
+// complex of the tower, carried by Δ, using MRV backtracking with
+// forward checking over facet constraints — split across workers above
+// a deterministic frontier.
+func searchMap(tower *chromatic.Tower, level int, task *tasks.Task, workers, limit int) (sc.Map, bool, error) {
+	top := tower.LevelComplex(level)
 	vertices := top.VertexIDs()
 
 	// Initial domains: same color, vertex-level Δ.
@@ -92,7 +167,7 @@ func searchMap(tower *chromatic.Tower, task *tasks.Task) (sc.Map, bool, error) {
 	domains := make(map[sc.VertexID][]sc.VertexID, len(vertices))
 	for _, v := range vertices {
 		vv, _ := top.Vertex(v)
-		carrier := tower.RootCarrier(v)
+		carrier := tower.RootCarrierAt(level, v)
 		var cands []sc.VertexID
 		for _, o := range outByColor[vv.Color] {
 			if task.VertexAllowed(carrier, o) {
@@ -115,18 +190,29 @@ func searchMap(tower *chromatic.Tower, task *tasks.Task) (sc.Map, bool, error) {
 	}
 	facetCarriers := make([]sc.Simplex, len(facets))
 	for i, f := range facets {
-		facetCarriers[i] = tower.RootCarrierOf(f)
+		facetCarriers[i] = tower.RootCarrierOfAt(level, f)
 	}
 
-	s := &searcher{
+	ctx := &searchCtx{
 		task:          task,
 		facets:        facets,
 		facetCarriers: facetCarriers,
 		vertexFacets:  vertexFacets,
-		domains:       domains,
-		assign:        make(sc.Map, len(vertices)),
-		limit:         defaultNodeLimit,
+		limit:         limit,
 	}
+	root := &branch{
+		assign:  make(sc.Map, len(vertices)),
+		domains: domains,
+	}
+	if workers <= 1 {
+		return searchSerial(ctx, root)
+	}
+	return searchParallel(ctx, root, workers)
+}
+
+// searchSerial runs the reference backtracker on one branch.
+func searchSerial(ctx *searchCtx, br *branch) (sc.Map, bool, error) {
+	s := &searcher{ctx: ctx, domains: br.domains, assign: br.assign, limit: ctx.limit}
 	ok, err := s.solve()
 	if err != nil {
 		return nil, false, err
@@ -137,22 +223,33 @@ func searchMap(tower *chromatic.Tower, task *tasks.Task) (sc.Map, bool, error) {
 	return s.assign, true, nil
 }
 
-// searcher is the forward-checking backtracker state.
-type searcher struct {
+// searchCtx is the read-only state shared by all search branches.
+type searchCtx struct {
 	task          *tasks.Task
 	facets        []sc.Simplex
 	facetCarriers []sc.Simplex
 	vertexFacets  map[sc.VertexID][]int
-	domains       map[sc.VertexID][]sc.VertexID
-	assign        sc.Map
-	nodes         int
 	limit         int
+}
+
+// searcher is the forward-checking backtracker state of one branch.
+type searcher struct {
+	ctx     *searchCtx
+	domains map[sc.VertexID][]sc.VertexID
+	assign  sc.Map
+	nodes   int
+	limit   int
+
+	// Parallel-search coordination: the branch aborts once a
+	// lower-indexed branch has found a witness.
+	winner *winnerState
+	branch int
 }
 
 // consistent reports whether giving value o to vertex w keeps the facet
 // image a Δ-allowed simplex of the output, given current assignments.
 func (s *searcher) consistent(fi int, w sc.VertexID, o sc.VertexID) bool {
-	f := s.facets[fi]
+	f := s.ctx.facets[fi]
 	img := make([]sc.VertexID, 0, len(f))
 	for _, x := range f {
 		if x == w {
@@ -164,10 +261,10 @@ func (s *searcher) consistent(fi int, w sc.VertexID, o sc.VertexID) bool {
 		}
 	}
 	simplex := sc.NewSimplex(img...)
-	if !s.task.Output.HasSimplex(simplex) {
+	if !s.ctx.task.Output.HasSimplex(simplex) {
 		return false
 	}
-	return s.task.SimplexAllowed(s.facetCarriers[fi], simplex)
+	return s.ctx.task.SimplexAllowed(s.ctx.facetCarriers[fi], simplex)
 }
 
 // restrictions recorded for undo.
@@ -180,8 +277,8 @@ type removal struct {
 // returns the undo trail and whether all domains stayed non-empty.
 func (s *searcher) forwardCheck(v sc.VertexID) ([]removal, bool) {
 	var trail []removal
-	for _, fi := range s.vertexFacets[v] {
-		for _, w := range s.facets[fi] {
+	for _, fi := range s.ctx.vertexFacets[v] {
+		for _, w := range s.ctx.facets[fi] {
 			if w == v {
 				continue
 			}
@@ -228,6 +325,10 @@ func (s *searcher) pickVar() (sc.VertexID, bool) {
 	return best, bestSize >= 0
 }
 
+// errCancelled aborts a parallel branch beaten by a lower-indexed
+// witness; it never escapes to callers of the solver API.
+var errCancelled = errors.New("solver: branch cancelled")
+
 func (s *searcher) solve() (bool, error) {
 	v, any := s.pickVar()
 	if !any {
@@ -237,11 +338,14 @@ func (s *searcher) solve() (bool, error) {
 	if s.nodes > s.limit {
 		return false, fmt.Errorf("%w: %d nodes", ErrSearchLimit, s.nodes)
 	}
+	if s.winner != nil && s.winner.beaten(s.branch) {
+		return false, errCancelled
+	}
 	dom := s.domains[v]
 	for _, o := range dom {
 		// Check v's own facets against already-assigned vertices.
 		ok := true
-		for _, fi := range s.vertexFacets[v] {
+		for _, fi := range s.ctx.vertexFacets[v] {
 			if !s.consistent(fi, v, o) {
 				ok = false
 				break

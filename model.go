@@ -19,6 +19,8 @@ type Model struct {
 	adv *adversary.Adversary
 	u   *chromatic.Universe
 	ra  *affine.Task
+
+	workers int // solver/subdivision worker bound; 0 = all CPUs
 }
 
 // NewModel builds the affine task R_A (Definition 9, default guard
@@ -47,14 +49,43 @@ func (m *Model) N() int { return m.adv.N() }
 // Setcon returns the set-consensus power of the model.
 func (m *Model) Setcon() int { return m.adv.Setcon() }
 
+// SetWorkers bounds the worker pools used by Solve's subdivision and
+// map-search engines: 1 forces the serial reference paths, <= 0 (the
+// default) uses one worker per CPU.
+func (m *Model) SetWorkers(workers int) { m.workers = workers }
+
+// Signature returns a deterministic identifier of the model (its
+// adversary plus its affine task), usable as a memoization key.
+func (m *Model) Signature() string {
+	return m.adv.Signature() + "/" + m.ra.Signature()
+}
+
 // Alpha evaluates the agreement function at P.
 func (m *Model) Alpha(p ProcSet) int { return m.adv.Alpha(p) }
 
 // Solve decides whether the task is solvable in this model by searching
 // for a chromatic simplicial map from R_A^ℓ(I) to the output complex,
-// ℓ = 1..maxRounds (Theorem 16).
+// ℓ = 1..maxRounds (Theorem 16). The iterated complexes R_A^ℓ(I) are
+// memoized process-wide, so repeated decisions against the same model
+// and input reuse them.
 func (m *Model) Solve(task *Task, maxRounds int) (*SolveResult, error) {
-	return solver.SolveAffine(task, m.ra, maxRounds)
+	return m.SolveWith(task, maxRounds, SolverOptions{})
+}
+
+// SolveWith is Solve with explicit engine options. Unset options inherit
+// the model's defaults (SetWorkers, the process-wide tower cache).
+func (m *Model) SolveWith(task *Task, maxRounds int, opts SolverOptions) (*SolveResult, error) {
+	if opts.Workers == 0 {
+		opts.Workers = m.workers
+	}
+	if opts.Cache == nil {
+		opts.Cache = chromatic.DefaultTowerCache
+	}
+	// CacheKey is left for SolveAffineWith to default to the affine
+	// task's signature: the tower depends only on the membership
+	// predicate, and this keeps Model.Solve and direct
+	// solver.SolveAffine calls sharing one cache entry.
+	return solver.SolveAffineWith(task, m.ra, maxRounds, opts)
 }
 
 // SolveKSetConsensus decides k-set consensus solvability — by the FACT
