@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+# Package scope for test/bench targets, e.g. `make bench PKG=./internal/chromatic`.
+PKG ?= ./...
+
+# Hot paths gated by the CI bench-track job (>20% ns/op regressions fail).
+BENCH_TRACK ?= ApplyAffine|Solve|Census
+
+.PHONY: all build test race bench bench-track fmt vet ci
 
 all: build
 
@@ -8,13 +14,16 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test $(PKG)
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $(PKG)
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short -benchmem $(PKG)
+
+bench-track:
+	$(GO) test -run '^$$' -bench '$(BENCH_TRACK)' -benchtime 1s -short -benchmem $(PKG)
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -1,0 +1,95 @@
+package fact
+
+// Benchmarks for the sharded census engine and the parallel witness
+// verifier: throughput scaling with the worker count over the n=3
+// Figure 2 domain (classification) and the n=2 domain (full solve
+// sweep), plus serial-vs-parallel VerifyWitness on a solved instance.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/solver"
+	"repro/internal/tasks"
+)
+
+// BenchmarkCensusClassify sweeps all 128 adversaries at n=3.
+func BenchmarkCensusClassify(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n=3/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := RunCensus(3, CensusOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Summary.Fair != 44 {
+					b.Fatalf("fair = %d, want 44", rep.Summary.Fair)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCensusSolve runs the full solve sweep (R_A construction,
+// solvability decision and witness verification per fair adversary)
+// over the n=2 domain, with a fresh tower cache per iteration so the
+// engine's own sharing is what is measured.
+func BenchmarkCensusSolve(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("n=2/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := RunCensus(2, CensusOptions{
+					Workers:         workers,
+					Solve:           true,
+					KTask:           1,
+					VerifyWitnesses: true,
+					Cache:           NewTowerCache(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Summary.Solved == 0 {
+					b.Fatal("solve sweep decided nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyWitness compares the serial and parallel witness
+// sweeps on 2-set consensus over R_{1-res}(3), reusing one cached tower
+// so only the carried-by-Δ verification is measured.
+func BenchmarkVerifyWitness(b *testing.B) {
+	u := chromatic.NewUniverse(3)
+	ra, err := affine.BuildRAForAdversary(u, adversary.TResilient(3, 1), affine.DefaultVariant)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := tasks.KSetConsensus(3, 2)
+	cache := chromatic.NewTowerCache()
+	res, err := solver.SolveAffineWith(task, ra, 1, solver.Options{Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Solvable {
+		b.Fatal("instance should be solvable")
+	}
+	member := ra.Membership()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := solver.VerifyWitnessWith(task, member, res.Rounds, res.Map, solver.Options{
+					Workers:  workers,
+					Cache:    cache,
+					CacheKey: ra.Signature(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

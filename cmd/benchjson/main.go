@@ -1,0 +1,252 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// stable JSON artifact and gates benchmark regressions in CI:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson convert -out BENCH_123.json
+//	benchjson compare -old BENCH_prev.json -new BENCH_123.json -threshold 20 -match 'ApplyAffine|Solve|Census'
+//
+// convert parses the text format into {benchmarks: [{name, pkg, runs,
+// ns_per_op, bytes_per_op, allocs_per_op}]}. compare matches benchmarks
+// by (pkg, name) and fails (exit 1) when any benchmark matching -match
+// regressed in ns/op by more than -threshold percent.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the JSON artifact schema.
+type File struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchjson convert|compare [flags]")
+	}
+	switch args[0] {
+	case "convert":
+		return cmdConvert(args[1:])
+	case "compare":
+		return cmdCompare(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want convert or compare)", args[0])
+	}
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	in := fs.String("in", "", "bench output file (default stdin)")
+	out := fs.String("out", "", "JSON destination (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	file, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// Parse reads `go test -bench` text output.
+func Parse(r io.Reader) (*File, error) {
+	file := &File{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			file.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			file.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			file.Benchmarks = append(file.Benchmarks, b)
+		}
+	}
+	return file, sc.Err()
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   10   123456 ns/op   456 B/op   7 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0]}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Runs = runs
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.NsPerOp = f
+		case "B/op":
+			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// Delta is one (old, new) comparison.
+type Delta struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	Percent float64 // (new-old)/old * 100
+	Tracked bool
+}
+
+// Compare joins two files by (pkg, name) and computes ns/op deltas;
+// tracked marks benchmarks matching the gate expression.
+func Compare(oldF, newF *File, tracked *regexp.Regexp) []Delta {
+	type key struct{ pkg, name string }
+	old := make(map[key]Benchmark, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		old[key{b.Pkg, b.Name}] = b
+	}
+	var out []Delta
+	for _, b := range newF.Benchmarks {
+		prev, ok := old[key{b.Pkg, b.Name}]
+		if !ok {
+			continue
+		}
+		out = append(out, Delta{
+			Name:    b.Name,
+			OldNs:   prev.NsPerOp,
+			NewNs:   b.NsPerOp,
+			Percent: (b.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100,
+			Tracked: tracked != nil && tracked.MatchString(b.Name),
+		})
+	}
+	return out
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "baseline JSON")
+	newPath := fs.String("new", "", "candidate JSON")
+	threshold := fs.Float64("threshold", 20, "max tracked ns/op regression, percent")
+	match := fs.String("match", "", "regexp of tracked (gated) benchmark names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("compare needs -old and -new")
+	}
+	oldF, err := readFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := readFile(*newPath)
+	if err != nil {
+		return err
+	}
+	var tracked *regexp.Regexp
+	if *match != "" {
+		tracked, err = regexp.Compile(*match)
+		if err != nil {
+			return err
+		}
+	}
+	deltas := Compare(oldF, newF, tracked)
+	if len(deltas) == 0 {
+		fmt.Println("benchjson: no common benchmarks to compare")
+		return nil
+	}
+	var regressions []Delta
+	for _, d := range deltas {
+		marker := " "
+		if d.Tracked {
+			marker = "*"
+			if d.Percent > *threshold {
+				marker = "!"
+				regressions = append(regressions, d)
+			}
+		}
+		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+			marker, d.Name, d.OldNs, d.NewNs, d.Percent)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d tracked benchmark(s) regressed beyond %.0f%%", len(regressions), *threshold)
+	}
+	return nil
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelApplyAffine/2-OF/n=4/serial         	       3	  50578205 ns/op	20141378 B/op	  518064 allocs/op
+BenchmarkE7RA/1-res/n=3                              	       3	    304853 ns/op	  120181 B/op	    2577 allocs/op
+PASS
+ok  	repro	19.336s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", f.Goos, f.Goarch)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkParallelApplyAffine/2-OF/n=4/serial" || b.Pkg != "repro" {
+		t.Errorf("name/pkg = %q/%q", b.Name, b.Pkg)
+	}
+	if b.Runs != 3 || b.NsPerOp != 50578205 || b.BytesPerOp != 20141378 || b.AllocsPerOp != 518064 {
+		t.Errorf("parsed values: %+v", b)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	oldF, _ := Parse(strings.NewReader(sample))
+	regressed := strings.Replace(sample, "  50578205 ns/op", "  90578205 ns/op", 1)
+	newF, err := Parse(strings.NewReader(regressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := Compare(oldF, newF, regexp.MustCompile(`ApplyAffine`))
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(deltas))
+	}
+	var hit *Delta
+	for i := range deltas {
+		if deltas[i].Tracked {
+			hit = &deltas[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("no tracked delta for ApplyAffine")
+	}
+	if hit.Percent < 20 {
+		t.Errorf("regression percent = %.1f, want > 20", hit.Percent)
+	}
+	for _, d := range deltas {
+		if strings.Contains(d.Name, "E7RA") && d.Tracked {
+			t.Errorf("E7RA should not be tracked by the ApplyAffine gate")
+		}
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	f, err := Parse(strings.NewReader("BenchmarkBroken-8\nBenchmarkAlso 10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Errorf("malformed lines parsed: %+v", f.Benchmarks)
+	}
+}

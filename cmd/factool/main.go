@@ -4,12 +4,14 @@
 //	factool adversary -n 3 -kind tres -t 1   # adversary + agreement function
 //	factool affine -n 3 -kind kof -k 1       # build R_A, print stats
 //	factool classify -n 3                    # Figure 2 census
+//	factool census -n 3 -workers 8 -json     # parallel census, JSON report
 //	factool figures -dir out/                # regenerate all figure SVGs
 //	factool solve -n 3 -kind tres -t 1 -k 2  # FACT solvability decision
 //	factool simulate -n 3 -kind kof -k 1     # Algorithm 1 + §6 campaigns
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +45,8 @@ func run(args []string) error {
 		return cmdAffine(args[1:])
 	case "classify":
 		return cmdClassify(args[1:])
+	case "census":
+		return cmdCensus(args[1:])
 	case "figures":
 		return cmdFigures(args[1:])
 	case "solve":
@@ -66,8 +70,10 @@ subcommands:
   adversary  -n N -kind K [flags]           adversary, α, classification
   affine     -n N -kind K [flags]           affine task R_A stats
   classify   -n N                           adversary census (Figure 2)
+  census     -n N [-workers W] [-json] [-solve -ktask K -rounds L -verify]
+             [-stats] [-progress]           parallel adversary census
   figures    -dir DIR                       regenerate figure SVGs
-  solve      -n N -kind K [flags] -k K' [-workers W]
+  solve      -n N -kind K [flags] -k K' [-workers W] [-stats]
                                             k-set consensus solvability
   simulate   -n N -kind K [flags]           Algorithm 1 + §6 campaigns
 
@@ -170,35 +176,90 @@ func cmdClassify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	type row struct {
-		total, superset, symmetric, fair int
+	// The Figure 2 numbers, computed by the parallel census engine.
+	rep, err := fact.RunCensus(*n, fact.CensusOptions{})
+	if err != nil {
+		return err
 	}
-	var r row
-	fact.EnumerateAdversaries(*n, func(a *fact.Adversary) bool {
-		r.total++
-		ss := a.IsSupersetClosed()
-		sym := a.IsSymmetric()
-		fair := a.IsFair()
-		if ss {
-			r.superset++
-		}
-		if sym {
-			r.symmetric++
-		}
-		if fair {
-			r.fair++
-		}
-		if (ss || sym) && !fair {
-			fmt.Printf("  WARNING: %v is superset/symmetric but unfair\n", a)
-		}
-		return true
-	})
-	fmt.Printf("adversary census for n=%d (Figure 2 as data)\n", *n)
-	fmt.Printf("  total adversaries:    %d\n", r.total)
-	fmt.Printf("  superset-closed:      %d\n", r.superset)
-	fmt.Printf("  symmetric:            %d\n", r.symmetric)
-	fmt.Printf("  fair:                 %d\n", r.fair)
+	printCensusSummary(rep)
 	return nil
+}
+
+func cmdCensus(args []string) error {
+	fs := flag.NewFlagSet("census", flag.ContinueOnError)
+	n := fs.Int("n", 3, "number of processes")
+	workers := fs.Int("workers", 0, "census workers (0 = all CPUs, 1 = serial)")
+	jsonOut := fs.Bool("json", false, "emit the full deterministic report as JSON on stdout")
+	solve := fs.Bool("solve", false, "also decide k-set consensus per fair adversary")
+	kTask := fs.Int("ktask", 1, "k for -solve")
+	rounds := fs.Int("rounds", 1, "maximum iterations of R_A for -solve")
+	verify := fs.Bool("verify", false, "independently re-verify every witness map (-solve)")
+	stats := fs.Bool("stats", false, "print tower-cache statistics to stderr (requires -solve)")
+	progress := fs.Bool("progress", false, "report shard progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := fact.CensusOptions{
+		Workers:         *workers,
+		Solve:           *solve,
+		KTask:           *kTask,
+		MaxRounds:       *rounds,
+		VerifyWitnesses: *verify,
+	}
+	if *progress {
+		opts.Progress = func(done, total uint64) {
+			fmt.Fprintf(os.Stderr, "census: %d/%d adversaries\n", done, total)
+		}
+	}
+	rep, err := fact.RunCensus(*n, opts)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		if rep.Cache != nil {
+			printCacheStats(*rep.Cache)
+		} else {
+			fmt.Fprintln(os.Stderr, "census: -stats reports the tower cache, which only solve jobs use; pass -solve")
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printCensusSummary(rep)
+	return nil
+}
+
+// printCensusSummary renders the deterministic human-readable summary
+// (identical for every worker count — timing and cache internals go to
+// stderr, never here).
+func printCensusSummary(rep *fact.CensusReport) {
+	s := rep.Summary
+	fmt.Printf("adversary census for n=%d (Figure 2 as data)\n", s.N)
+	fmt.Printf("  total adversaries:    %d\n", s.Total)
+	fmt.Printf("  superset-closed:      %d\n", s.SupersetClosed)
+	fmt.Printf("  symmetric:            %d\n", s.Symmetric)
+	fmt.Printf("  fair:                 %d\n", s.Fair)
+	fmt.Printf("  inclusion violations: %d\n", s.InclusionViolations)
+	fmt.Println("  setcon histogram over fair adversaries:")
+	for k, c := range s.SetconHist {
+		if c > 0 {
+			fmt.Printf("    setcon=%d: %d adversaries\n", k, c)
+		}
+	}
+	if s.Solved > 0 {
+		fmt.Printf("  solve mode (k=%d):\n", s.KTask)
+		fmt.Printf("    solved:    %d\n", s.Solved)
+		fmt.Printf("    solvable:  %d\n", s.Solvable)
+		fmt.Printf("    undecided: %d\n", s.Undecided)
+	}
+}
+
+func printCacheStats(st fact.CacheStats) {
+	fmt.Fprintf(os.Stderr,
+		"tower cache: %d hits, %d misses, %d towers, %d levels, %d vertices\n",
+		st.Hits, st.Misses, st.Towers, st.Levels, st.Vertices)
 }
 
 func cmdFigures(args []string) error {
@@ -264,6 +325,7 @@ func cmdSolve(args []string) error {
 	kTask := fs.Int("ktask", 1, "k for k-set consensus")
 	rounds := fs.Int("rounds", 1, "maximum iterations of R_A")
 	workers := fs.Int("workers", 0, "engine workers (0 = all CPUs, 1 = serial)")
+	stats := fs.Bool("stats", false, "print tower-cache statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -287,6 +349,9 @@ func cmdSolve(args []string) error {
 	} else {
 		fmt.Printf("%d-set consensus: no map up to ℓ=%d (complex sizes %v)\n",
 			*kTask, *rounds, res.ComplexSizes)
+	}
+	if *stats {
+		printCacheStats(fact.DefaultTowerCache.Snapshot())
 	}
 	return nil
 }

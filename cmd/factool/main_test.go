@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,11 +15,64 @@ func TestRunSubcommands(t *testing.T) {
 		{"adversary", "-n", "3", "-kind", "waitfree"},
 		{"affine", "-n", "3", "-kind", "kof", "-k", "1"},
 		{"classify", "-n", "2"},
+		{"census", "-n", "2", "-json"},
+		{"census", "-n", "2", "-solve", "-ktask", "1", "-verify", "-stats"},
+		{"census", "-n", "3", "-workers", "4", "-progress"},
 		{"help"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	outc := make(chan string)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		outc <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	out := <-outc
+	if ferr != nil {
+		t.Fatalf("command failed: %v", ferr)
+	}
+	return out
+}
+
+// TestCensusOutputDeterministic asserts the tentpole acceptance
+// criterion at the CLI surface: both the human summary and the JSON
+// report of `factool census -n 3` are byte-identical for -workers 1
+// and -workers 8.
+func TestCensusOutputDeterministic(t *testing.T) {
+	for _, mode := range [][]string{
+		{"census", "-n", "3"},
+		{"census", "-n", "3", "-json"},
+	} {
+		serial := captureStdout(t, func() error {
+			return run(append(append([]string{}, mode...), "-workers", "1"))
+		})
+		parallel := captureStdout(t, func() error {
+			return run(append(append([]string{}, mode...), "-workers", "8"))
+		})
+		if serial != parallel {
+			t.Errorf("%v output differs between -workers 1 and -workers 8", mode)
+		}
+		if len(serial) == 0 {
+			t.Errorf("%v produced no output", mode)
 		}
 	}
 }

@@ -1,6 +1,7 @@
-// Classify: the Figure 2 census as data. Enumerates every adversary of
-// a small system, classifies it (superset-closed / symmetric / fair),
-// verifies the paper's inclusion claims, and prints the distribution of
+// Classify: the Figure 2 census as data, computed by the sharded
+// parallel census engine. Sweeps every adversary of a small system,
+// classifies it (superset-closed / symmetric / fair), verifies the
+// paper's inclusion claims, and prints the distribution of
 // set-consensus powers across the fair class.
 package main
 
@@ -18,43 +19,28 @@ func main() {
 }
 
 func run(n int) error {
-	total, superset, symmetric, fair := 0, 0, 0, 0
-	setconHist := map[int]int{}
-	var inclusionViolations int
-
-	fact.EnumerateAdversaries(n, func(a *fact.Adversary) bool {
-		total++
-		ss := a.IsSupersetClosed()
-		sym := a.IsSymmetric()
-		fr := a.IsFair()
-		if ss {
-			superset++
-		}
-		if sym {
-			symmetric++
-		}
-		if fr {
-			fair++
-			setconHist[a.Setcon()]++
-		}
-		// Figure 2: superset-closed ⊂ fair and symmetric ⊂ fair.
-		if (ss || sym) && !fr {
-			inclusionViolations++
-			fmt.Printf("  INCLUSION VIOLATION: %v\n", a)
-		}
-		return true
-	})
+	rep, err := fact.RunCensus(n, fact.CensusOptions{})
+	if err != nil {
+		return err
+	}
+	s := rep.Summary
 
 	fmt.Printf("adversary census, n=%d\n", n)
-	fmt.Printf("  total:            %4d\n", total)
-	fmt.Printf("  superset-closed:  %4d (all fair: %v)\n", superset, inclusionViolations == 0)
-	fmt.Printf("  symmetric:        %4d (all fair: %v)\n", symmetric, inclusionViolations == 0)
-	fmt.Printf("  fair:             %4d\n", fair)
-	fmt.Printf("  unfair:           %4d (outside the FACT theorem's class)\n", total-fair)
+	fmt.Printf("  total:            %4d\n", s.Total)
+	fmt.Printf("  superset-closed:  %4d (all fair: %v)\n", s.SupersetClosed, s.InclusionViolations == 0)
+	fmt.Printf("  symmetric:        %4d (all fair: %v)\n", s.Symmetric, s.InclusionViolations == 0)
+	fmt.Printf("  fair:             %4d\n", s.Fair)
+	fmt.Printf("  unfair:           %4d (outside the FACT theorem's class)\n", s.Total-s.Fair)
 	fmt.Println("  setcon histogram over fair adversaries:")
-	for k := 0; k <= n; k++ {
-		if c, ok := setconHist[k]; ok {
+	for k, c := range s.SetconHist {
+		if c > 0 {
 			fmt.Printf("    setcon=%d: %d adversaries\n", k, c)
+		}
+	}
+	// Figure 2: superset-closed ⊂ fair and symmetric ⊂ fair.
+	for _, e := range rep.Entries {
+		if (e.SupersetClosed || e.Symmetric) && !e.Fair {
+			fmt.Printf("  INCLUSION VIOLATION: %s\n", e.Adversary)
 		}
 	}
 

@@ -19,9 +19,11 @@ package fact
 import (
 	"repro/internal/adversary"
 	"repro/internal/affine"
+	"repro/internal/census"
 	"repro/internal/chromatic"
 	"repro/internal/core"
 	"repro/internal/procs"
+	"repro/internal/sc"
 	"repro/internal/solver"
 	"repro/internal/tasks"
 )
@@ -44,14 +46,28 @@ type (
 	AffineTask = affine.Task
 	// Run2 is a two-round IIS run (a facet of Chr² s).
 	Run2 = chromatic.Run2
+	// Universe interns Chr² s vertices into a shared identity space.
+	Universe = chromatic.Universe
 	// Task is a distributed task (I, O, Δ) (Section 2).
 	Task = tasks.Task
 	// SolveResult reports a FACT solvability decision.
 	SolveResult = solver.Result
+	// VertexMap is a vertex-level simplicial map (witness maps).
+	VertexMap = sc.Map
 	// SolverOptions tunes the solvability engine (workers, memoization).
 	SolverOptions = solver.Options
 	// TowerCache memoizes iterated subdivisions R_A^ℓ(I) across queries.
 	TowerCache = chromatic.TowerCache
+	// CacheStats is a snapshot of a TowerCache (hits, misses, sizes).
+	CacheStats = chromatic.CacheStats
+	// CensusOptions tunes the parallel adversary-census engine.
+	CensusOptions = census.Options
+	// CensusEntry is the census record of one adversary.
+	CensusEntry = census.Entry
+	// CensusSummary aggregates a census run.
+	CensusSummary = census.Summary
+	// CensusReport is the deterministic result of a census run.
+	CensusReport = census.Report
 	// AlgOneReport aggregates an Algorithm 1 verification campaign.
 	AlgOneReport = core.AlgOneReport
 	// SetConsensusReport aggregates a Section 6 simulation campaign.
@@ -78,6 +94,13 @@ var (
 	SymmetricFromSizes = adversary.SymmetricFromSizes
 	// EnumerateAdversaries visits every adversary over n processes.
 	EnumerateAdversaries = adversary.EnumerateAdversaries
+	// AdversaryAt returns the idx-th adversary of the enumeration order.
+	AdversaryAt = adversary.AdversaryAt
+	// CensusSize returns the number of adversaries over n processes.
+	CensusSize = adversary.CensusSize
+	// RunCensus sweeps every adversary over n processes with the
+	// sharded, parallel census engine (classify and solve modes).
+	RunCensus = census.Run
 )
 
 // Set helpers, re-exported.
@@ -90,6 +113,9 @@ var (
 
 // Engine helpers, re-exported.
 var (
+	// NewUniverse creates an empty Chr² vertex interner for n processes
+	// (share one across models of the same n via NewModelWithUniverse).
+	NewUniverse = chromatic.NewUniverse
 	// NewTowerCache creates an empty iterated-subdivision cache.
 	NewTowerCache = chromatic.NewTowerCache
 	// DefaultTowerCache is the process-wide subdivision cache used by

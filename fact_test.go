@@ -116,3 +116,32 @@ func TestNewModelEmptyAdversary(t *testing.T) {
 		t.Errorf("singleton adversary should work: %v", err)
 	}
 }
+
+// TestSharedUniverseModels builds several models over one shared Chr²
+// vertex identity space and checks they behave like privately-interned
+// ones, including witness verification through the public API.
+func TestSharedUniverseModels(t *testing.T) {
+	u := NewUniverse(3)
+	advs := []*Adversary{TResilient(3, 1), KObstructionFree(3, 1)}
+	for _, a := range advs {
+		m, err := NewModelWithUniverse(u, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := m.Setcon()
+		res, err := m.SolveKSetConsensus(k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solvable {
+			t.Fatalf("%v: %d-set consensus should be solvable", a, k)
+		}
+		task := KSetConsensus(3, k)
+		if err := m.VerifyWitness(task, res.Rounds, res.Map); err != nil {
+			t.Errorf("%v: witness rejected: %v", a, err)
+		}
+	}
+	if _, err := NewModelWithUniverse(NewUniverse(4), TResilient(3, 1)); err == nil {
+		t.Error("mismatched universe size should be rejected")
+	}
+}

@@ -165,20 +165,56 @@ func (a *Adversary) FairnessWitness() (p, q procs.Set, fair bool) {
 // 2^(2^n - 1): 128 for n = 3 — the Figure 2 census domain.
 func EnumerateAdversaries(n int, f func(*Adversary) bool) {
 	all := procs.NonemptySubsets(procs.FullSet(n))
-	m := len(all)
-	for mask := 0; mask < 1<<uint(m); mask++ {
-		live := make([]procs.Set, 0, m)
-		for i := 0; i < m; i++ {
-			if mask&(1<<uint(i)) != 0 {
-				live = append(live, all[i])
-			}
-		}
-		adv, err := New(n, live...)
-		if err != nil {
-			continue // unreachable: inputs are valid by construction
-		}
-		if !f(adv) {
+	total := CensusSize(n)
+	for idx := uint64(0); idx < total; idx++ {
+		if !f(adversaryAt(n, all, idx)) {
 			return
 		}
 	}
+}
+
+// CensusSize returns the number of adversaries EnumerateAdversaries
+// visits for an n-process system: 2^(2^n − 1). Valid for n ≤ 6 (the
+// count overflows uint64 beyond that — far past any enumerable census).
+func CensusSize(n int) uint64 {
+	if n < 1 || n > 6 {
+		panic("adversary: CensusSize out of range")
+	}
+	return uint64(1) << uint((1<<uint(n))-1)
+}
+
+// EnumerationDomain returns the candidate live sets of the n-process
+// enumeration in the fixed order AdversaryAt indexes by. Sweeps over
+// many indices should compute it once and use AdversaryAtIn.
+func EnumerationDomain(n int) []procs.Set {
+	return procs.NonemptySubsets(procs.FullSet(n))
+}
+
+// AdversaryAt returns the idx-th adversary of the EnumerateAdversaries
+// order: bit i of idx selects the i-th non-empty subset of Π (in the
+// procs.NonemptySubsets order) as a live set. This random-access form is
+// what lets the census engine partition the enumeration space into
+// deterministic shards.
+func AdversaryAt(n int, idx uint64) *Adversary {
+	return adversaryAt(n, EnumerationDomain(n), idx)
+}
+
+// AdversaryAtIn is AdversaryAt over a precomputed EnumerationDomain(n)
+// — the hot-loop form that skips re-deriving the domain per index.
+func AdversaryAtIn(n int, domain []procs.Set, idx uint64) *Adversary {
+	return adversaryAt(n, domain, idx)
+}
+
+func adversaryAt(n int, all []procs.Set, idx uint64) *Adversary {
+	live := make([]procs.Set, 0, len(all))
+	for i := 0; i < len(all); i++ {
+		if idx&(1<<uint(i)) != 0 {
+			live = append(live, all[i])
+		}
+	}
+	adv, err := New(n, live...)
+	if err != nil {
+		panic("adversary: enumeration produced invalid live sets") // unreachable
+	}
+	return adv
 }

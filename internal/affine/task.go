@@ -33,7 +33,7 @@ type Task struct {
 	u      *chromatic.Universe
 	facets []chromatic.Run2
 
-	keys map[string]bool // run keys of the facets
+	keys map[chromatic.RunKey]bool // binary run keys of the facets
 
 	cplxOnce sync.Once
 	cplx     *sc.Complex // lazy closure of the facets
@@ -55,19 +55,17 @@ func NewTask(name string, u *chromatic.Universe, facets []chromatic.Run2) (*Task
 		n:      u.N(),
 		u:      u,
 		facets: facets,
-		keys:   make(map[string]bool, len(facets)),
+		keys:   make(map[chromatic.RunKey]bool, len(facets)),
 	}
 	full := procs.FullSet(u.N())
 	for _, r := range facets {
 		if err := r.Validate(full); err != nil {
 			return nil, err
 		}
-		t.keys[runKey(r)] = true
+		t.keys[r.Key()] = true
 	}
 	return t, nil
 }
-
-func runKey(r chromatic.Run2) string { return r.R1.Key() + "/" + r.R2.Key() }
 
 // N returns the number of processes.
 func (t *Task) N() int { return t.n }
@@ -86,7 +84,7 @@ func (t *Task) Facets() []chromatic.Run2 {
 }
 
 // ContainsRun reports whether the full-participation run is a facet.
-func (t *Task) ContainsRun(r chromatic.Run2) bool { return t.keys[runKey(r)] }
+func (t *Task) ContainsRun(r chromatic.Run2) bool { return t.keys[r.Key()] }
 
 // Complex materializes the task as a simplicial complex (the closure of
 // its facets, including all boundary faces). Cached after first call.
@@ -102,21 +100,22 @@ func (t *Task) Complex() *sc.Complex {
 }
 
 // Signature returns a deterministic identifier of the task's membership
-// semantics: a digest of the system size and the sorted facet run keys.
-// Two tasks with equal signatures accept exactly the same runs, so the
-// signature keys the iterated-subdivision cache (chromatic.TowerCache).
+// semantics: a digest of the system size and the sorted binary facet run
+// keys. Two tasks with equal signatures accept exactly the same runs, so
+// the signature keys the iterated-subdivision cache
+// (chromatic.TowerCache).
 func (t *Task) Signature() string {
 	t.sigOnce.Do(func() {
-		keys := make([]string, 0, len(t.keys))
+		keys := make([]chromatic.RunKey, 0, len(t.keys))
 		for k := range t.keys {
 			keys = append(keys, k)
 		}
-		sort.Strings(keys)
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 		h := sha256.New()
 		fmt.Fprintf(h, "affine:%d;", t.n)
+		buf := make([]byte, 0, 16)
 		for _, k := range keys {
-			h.Write([]byte(k))
-			h.Write([]byte{0})
+			h.Write(k.AppendBytes(buf[:0]))
 		}
 		t.sig = hex.EncodeToString(h.Sum(nil))
 	})
@@ -168,7 +167,7 @@ func (t *Task) Membership() chromatic.Membership {
 	full := procs.FullSet(t.n)
 	return func(r chromatic.Run2) bool {
 		if r.Ground() == full {
-			return t.keys[runKey(r)]
+			return t.keys[r.Key()]
 		}
 		return t.ContainsSimplex(r.FacetIDs(t.u))
 	}
@@ -192,11 +191,11 @@ func (t *Task) Equal(other *Task) bool {
 func (t *Task) MissingFrom(other *Task) []chromatic.Run2 {
 	var out []chromatic.Run2
 	for _, r := range t.facets {
-		if !other.keys[runKey(r)] {
+		if !other.keys[r.Key()] {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return runKey(out[i]) < runKey(out[j]) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Key().Less(out[j].Key()) })
 	return out
 }
 

@@ -1,0 +1,323 @@
+// Package census implements the sharded, parallel adversary-census
+// engine: the paper's headline application of deciding task solvability
+// across whole families of adversaries (the Figure 2 census domain),
+// run as fast as the hardware allows.
+//
+// The enumeration space — every adversary over n processes, indexed by
+// adversary.AdversaryAt — is partitioned into deterministic contiguous
+// shards. A bounded worker pool classifies (and optionally solves) the
+// adversaries of each shard, writing results into the entry slot of
+// their enumeration index, so the aggregated report is byte-identical
+// for every worker count. All solve jobs of one run share a single
+// chromatic.Universe (one Chr² vertex identity space per n) and a
+// single chromatic.TowerCache (iterated subdivisions built once per
+// distinct R_A signature), which is what makes whole-landscape sweeps
+// tractable.
+package census
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+	"repro/internal/solver"
+	"repro/internal/tasks"
+)
+
+// MaxDomain bounds the enumeration spaces a census run materializes:
+// an entry is recorded per adversary, so the domain must fit in memory.
+// 2^15 = 32768 covers n ≤ 4; n = 5 already has 2^31 adversaries.
+const MaxDomain = 1 << 22
+
+// ErrDomainTooLarge reports a census over an enumeration space beyond
+// MaxDomain.
+var ErrDomainTooLarge = errors.New("census: enumeration domain too large")
+
+// Options tune a census run. The zero value selects the defaults:
+// classification only, one worker per CPU.
+type Options struct {
+	// Workers bounds the shard worker pool. <= 0 selects one worker per
+	// CPU; 1 runs the serial reference path. The report is identical
+	// for every value.
+	Workers int
+
+	// ShardSize is the number of consecutive enumeration indices one
+	// work unit covers. <= 0 selects a default scaled to the domain.
+	ShardSize int
+
+	// Solve additionally decides KTask-set consensus for every fair
+	// adversary with setcon ≥ 1, building R_A over the run's shared
+	// Universe and solving through the shared TowerCache.
+	Solve bool
+
+	// KTask is the k of the k-set consensus task decided when Solve is
+	// set. <= 0 selects 1 (consensus).
+	KTask int
+
+	// MaxRounds bounds the solvability search (iterations of R_A).
+	// <= 0 selects 1.
+	MaxRounds int
+
+	// VerifyWitnesses re-validates every witness map found by the solve
+	// jobs through solver.VerifyWitnessWith (independent re-check of
+	// the FACT positive direction).
+	VerifyWitnesses bool
+
+	// Cache is the shared iterated-subdivision cache for solve jobs.
+	// Nil selects a cache private to the run.
+	Cache *chromatic.TowerCache
+
+	// Progress, when non-nil, is called after each completed shard with
+	// the number of classified adversaries so far and the domain size.
+	// Calls may come from any worker goroutine.
+	Progress func(done, total uint64)
+}
+
+// Entry is the census record of one adversary. Every field is a
+// schedule-independent function of the enumeration index, so entries
+// compare byte-identical across worker counts.
+type Entry struct {
+	Index          uint64   `json:"index"`
+	Adversary      string   `json:"adversary"`
+	LiveSetMasks   []uint32 `json:"live_set_masks"`
+	SupersetClosed bool     `json:"superset_closed"`
+	Symmetric      bool     `json:"symmetric"`
+	Fair           bool     `json:"fair"`
+	Setcon         int      `json:"setcon"`
+	CSize          int      `json:"csize"`
+
+	// Solve-mode fields (omitted when the adversary was not solved:
+	// Solve unset, unfair adversary, or empty R_A).
+	Solved    bool  `json:"solved,omitempty"`
+	Solvable  *bool `json:"solvable,omitempty"`
+	Rounds    int   `json:"rounds,omitempty"`
+	RAFacets  int   `json:"ra_facets,omitempty"`
+	Undecided bool  `json:"undecided,omitempty"`
+}
+
+// Summary aggregates a census in enumeration order.
+type Summary struct {
+	N                   int      `json:"n"`
+	Total               uint64   `json:"total"`
+	SupersetClosed      uint64   `json:"superset_closed"`
+	Symmetric           uint64   `json:"symmetric"`
+	Fair                uint64   `json:"fair"`
+	InclusionViolations uint64   `json:"inclusion_violations"`
+	SetconHist          []uint64 `json:"setcon_hist"` // over fair adversaries; index = setcon
+
+	// Solve-mode aggregates.
+	KTask     int    `json:"k_task,omitempty"`
+	Solved    uint64 `json:"solved,omitempty"`
+	Solvable  uint64 `json:"solvable,omitempty"`
+	Undecided uint64 `json:"undecided,omitempty"`
+}
+
+// Report is the full result of a census run: the summary, the
+// per-adversary entries in enumeration order, and — when solve jobs ran
+// — the shared subdivision-cache statistics. Marshalled to JSON it is
+// byte-identical for every worker count.
+type Report struct {
+	Summary Summary               `json:"summary"`
+	Cache   *chromatic.CacheStats `json:"cache,omitempty"`
+	Entries []Entry               `json:"entries"`
+}
+
+// Run sweeps every adversary over n processes. See Options for the
+// classify/solve modes; the returned report is deterministic.
+func Run(n int, opts Options) (*Report, error) {
+	if n < 1 || n > 6 {
+		return nil, fmt.Errorf("census: n must be in [1,6], got %d", n)
+	}
+	total := adversary.CensusSize(n)
+	if total > MaxDomain {
+		return nil, fmt.Errorf("%w: %d adversaries at n=%d (max %d)",
+			ErrDomainTooLarge, total, n, MaxDomain)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = int(total / uint64(workers*8))
+		if shardSize < 1 {
+			shardSize = 1
+		}
+		if shardSize > 1024 {
+			shardSize = 1024
+		}
+	}
+	kTask := opts.KTask
+	if kTask <= 0 {
+		kTask = 1
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = chromatic.NewTowerCache()
+	}
+
+	env := &runEnv{
+		n:         n,
+		all:       adversary.EnumerationDomain(n),
+		universe:  chromatic.NewUniverse(n),
+		cache:     cache,
+		solve:     opts.Solve,
+		kTask:     kTask,
+		maxRounds: maxRounds,
+		verify:    opts.VerifyWitnesses,
+	}
+
+	entries := make([]Entry, total)
+	shards := (total + uint64(shardSize) - 1) / uint64(shardSize)
+	var cursor, done atomic.Uint64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := cursor.Add(1) - 1
+				if s >= shards || firstErr.Load() != nil {
+					return
+				}
+				lo := s * uint64(shardSize)
+				hi := lo + uint64(shardSize)
+				if hi > total {
+					hi = total
+				}
+				for idx := lo; idx < hi; idx++ {
+					e, err := env.examine(idx)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					entries[idx] = e
+				}
+				if opts.Progress != nil {
+					opts.Progress(done.Add(hi-lo), total)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if perr := firstErr.Load(); perr != nil {
+		return nil, *perr
+	}
+
+	rep := &Report{
+		Summary: Summary{N: n, Total: total, SetconHist: make([]uint64, n+1)},
+		Entries: entries,
+	}
+	for i := range entries {
+		e := &entries[i]
+		if e.SupersetClosed {
+			rep.Summary.SupersetClosed++
+		}
+		if e.Symmetric {
+			rep.Summary.Symmetric++
+		}
+		if e.Fair {
+			rep.Summary.Fair++
+			rep.Summary.SetconHist[e.Setcon]++
+		}
+		if (e.SupersetClosed || e.Symmetric) && !e.Fair {
+			rep.Summary.InclusionViolations++
+		}
+		if e.Solved {
+			rep.Summary.Solved++
+			if e.Solvable != nil && *e.Solvable {
+				rep.Summary.Solvable++
+			}
+			if e.Undecided {
+				rep.Summary.Undecided++
+			}
+		}
+	}
+	if opts.Solve {
+		rep.Summary.KTask = kTask
+		st := cache.Snapshot()
+		rep.Cache = &st
+	}
+	return rep, nil
+}
+
+// runEnv is the state shared by all workers of one census run.
+type runEnv struct {
+	n         int
+	all       []procs.Set
+	universe  *chromatic.Universe
+	cache     *chromatic.TowerCache
+	solve     bool
+	kTask     int
+	maxRounds int
+	verify    bool
+}
+
+// examine classifies (and optionally solves) the adversary at one
+// enumeration index. Pure per index: no cross-shard state beyond the
+// concurrency-safe Universe and TowerCache.
+func (env *runEnv) examine(idx uint64) (Entry, error) {
+	a := adversary.AdversaryAtIn(env.n, env.all, idx)
+	live := a.LiveSets()
+	masks := make([]uint32, len(live))
+	for i, s := range live {
+		masks[i] = uint32(s)
+	}
+	e := Entry{
+		Index:          idx,
+		Adversary:      a.String(),
+		LiveSetMasks:   masks,
+		SupersetClosed: a.IsSupersetClosed(),
+		Symmetric:      a.IsSymmetric(),
+		Fair:           a.IsFair(),
+		Setcon:         a.Setcon(),
+		CSize:          a.CSize(),
+	}
+	if !env.solve || !e.Fair || e.Setcon < 1 {
+		return e, nil
+	}
+	// Solve jobs run serially inside each worker (Workers: 1): the
+	// census parallelism is across adversaries, not within one solve.
+	ra, err := affine.BuildRAForAdversary(env.universe, a, affine.DefaultVariant)
+	if err != nil {
+		return e, fmt.Errorf("census: R_A for %v: %w", a, err)
+	}
+	e.RAFacets = ra.NumFacets()
+	task := tasks.KSetConsensus(env.n, env.kTask)
+	res, err := solver.SolveAffineWith(task, ra, env.maxRounds, solver.Options{
+		Workers: 1,
+		Cache:   env.cache,
+	})
+	e.Solved = true
+	switch {
+	case errors.Is(err, solver.ErrSearchLimit):
+		e.Undecided = true
+		return e, nil
+	case err != nil:
+		return e, fmt.Errorf("census: solve %v: %w", a, err)
+	}
+	solvable := res.Solvable
+	e.Solvable = &solvable
+	if solvable {
+		e.Rounds = res.Rounds
+		if env.verify {
+			err := solver.VerifyWitnessWith(task, ra.Membership(), res.Rounds, res.Map,
+				solver.Options{Workers: 1, Cache: env.cache, CacheKey: ra.Signature()})
+			if err != nil {
+				return e, fmt.Errorf("census: witness for %v rejected: %w", a, err)
+			}
+		}
+	}
+	return e, nil
+}

@@ -67,6 +67,43 @@ func (c *TowerCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// CacheStats is a point-in-time snapshot of a TowerCache: the hit/miss
+// counters plus size accounting — the number of cached towers, their
+// total built levels, and the total vertices across those levels. The
+// size figures are the groundwork for LRU bounding (ROADMAP): they are
+// what an eviction policy will weigh.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Towers   int   `json:"towers"`
+	Levels   int   `json:"levels"`
+	Vertices int   `json:"vertices"`
+}
+
+// Snapshot collects the cache statistics. Towers mid-extension are
+// counted at the height already built.
+func (c *TowerCache) Snapshot() CacheStats {
+	c.mu.Lock()
+	entries := make([]*CachedTower, 0, len(c.entries))
+	for _, ct := range c.entries {
+		entries = append(entries, ct)
+	}
+	c.mu.Unlock()
+	st := CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Towers: len(entries),
+	}
+	for _, ct := range entries {
+		h := ct.tower.Height()
+		st.Levels += h
+		for level := 1; level <= h; level++ {
+			st.Vertices += ct.tower.LevelComplex(level).NumVertices()
+		}
+	}
+	return st
+}
+
 // Len returns the number of cached towers.
 func (c *TowerCache) Len() int {
 	c.mu.Lock()

@@ -19,8 +19,6 @@ package chromatic
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/procs"
@@ -105,29 +103,34 @@ func (u *Universe) NumVertices() int {
 	return len(u.data)
 }
 
-// contentKey canonically serializes (color, content).
-func contentKey(color procs.ID, content map[procs.ID]procs.Set) string {
-	qs := make([]procs.ID, 0, len(content))
+// appendContentKey appends the canonical binary serialization of
+// (color, content) to buf: the color, the round-2 view bitset, then the
+// round-1 views of its members in increasing process order. The round-2
+// view both disambiguates the entry set and drives ordered iteration,
+// so no sorting (and no fmt formatting) happens on this path — it is
+// the interning hot key of R_A^ℓ construction.
+func appendContentKey(buf []byte, color procs.ID, content map[procs.ID]procs.Set) []byte {
+	var view2 procs.Set
 	for q := range content {
-		qs = append(qs, q)
+		view2 = view2.Add(q)
 	}
-	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
-	var b strings.Builder
-	b.Grow(2 + len(qs)*10)
-	fmt.Fprintf(&b, "%d;", color)
-	for _, q := range qs {
-		fmt.Fprintf(&b, "%d:%x,", q, uint32(content[q]))
-	}
-	return b.String()
+	buf = append(buf, byte(color),
+		byte(view2), byte(view2>>8), byte(view2>>16), byte(view2>>24))
+	view2.ForEach(func(q procs.ID) {
+		v := content[q]
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	})
+	return buf
 }
 
 // Intern returns the vertex ID for (color, content), creating it if
 // needed. content maps each process seen in round 2 to its round-1 view;
 // it must include color itself (self-inclusion).
 func (u *Universe) Intern(color procs.ID, content map[procs.ID]procs.Set) sc.VertexID {
-	key := contentKey(color, content)
+	var arr [5 + 4*procs.MaxProcs]byte
+	key := appendContentKey(arr[:0], color, content)
 	u.mu.RLock()
-	id, ok := u.ids[key]
+	id, ok := u.ids[string(key)]
 	u.mu.RUnlock()
 	if ok {
 		return id
@@ -141,12 +144,12 @@ func (u *Universe) Intern(color procs.ID, content map[procs.ID]procs.Set) sc.Ver
 	v2.View1 = content[color]
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if id, ok := u.ids[key]; ok {
+	if id, ok := u.ids[string(key)]; ok {
 		return id
 	}
 	id = sc.VertexID(len(u.data))
 	u.data = append(u.data, v2)
-	u.ids[key] = id
+	u.ids[string(key)] = id
 	return id
 }
 
@@ -184,6 +187,39 @@ func (r Run2) Validate(ground procs.Set) error {
 
 // Ground returns the participating set of the run.
 func (r Run2) Ground() procs.Set { return r.R1.Ground() }
+
+// RunKey is the compact comparable identity of a Run2: the packed-nibble
+// encodings of both rounds (procs.OrderedPartition.PackedKey). It is the
+// membership hot-path key — two runs over grounds within
+// procs.PackedKeyMaxProcs are equal iff their RunKeys are — and replaces
+// the fmt-built string keys the affine-task membership maps used before.
+type RunKey struct{ R1, R2 uint64 }
+
+// Key returns the binary key of the run.
+func (r Run2) Key() RunKey {
+	return RunKey{R1: r.R1.PackedKey(), R2: r.R2.PackedKey()}
+}
+
+// Less orders run keys lexicographically (R1, then R2) for deterministic
+// iteration over key sets.
+func (k RunKey) Less(o RunKey) bool {
+	if k.R1 != o.R1 {
+		return k.R1 < o.R1
+	}
+	return k.R2 < o.R2
+}
+
+// AppendBytes appends the 16-byte little-endian serialization of the
+// key, for hashing task signatures.
+func (k RunKey) AppendBytes(buf []byte) []byte {
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(k.R1>>(8*i)))
+	}
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(k.R2>>(8*i)))
+	}
+	return buf
+}
 
 // String renders the run as "R1: ... | R2: ...".
 func (r Run2) String() string {

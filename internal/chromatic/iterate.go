@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -297,28 +296,43 @@ func (it *Iterated) register(key string, color int, content map[sc.VertexID]sc.S
 	}
 	it.carrier[id] = carrier
 	it.content[id] = content
-	label := fmt.Sprintf("c%d@%s", color, key)
+	// The key is binary; label with the (unique) ID and the carrier,
+	// which is what diagnostics actually read.
+	label := fmt.Sprintf("c%d#%d@%v", color, id, carrier)
 	_ = it.Complex.AddVertex(id, color, label)
 	it.interns[key] = id
 	return id
 }
 
+// iterKey canonically serializes (baseVertex, content) as a compact
+// binary string: the base vertex, then each content entry — base vertex,
+// view length, view members — in increasing base-vertex order. Views are
+// canonical sc.Simplex values (sorted, deduplicated), so the encoding is
+// injective; binary appends replace the fmt-built string form that
+// profiles showed near the top of R_A^ℓ construction.
 func iterKey(baseV sc.VertexID, content map[sc.VertexID]sc.Simplex) string {
 	keys := make([]sc.VertexID, 0, len(content))
-	for k := range content {
+	total := 0
+	for k, view := range content {
 		keys = append(keys, k)
+		total += len(view)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", baseV)
+	buf := make([]byte, 0, 4+len(keys)*5+total*4)
+	buf = appendVertexID(buf, baseV)
 	for _, k := range keys {
-		fmt.Fprintf(&b, "%d:", k)
-		for _, v := range content[k] {
-			fmt.Fprintf(&b, "%d,", v)
+		view := content[k]
+		buf = appendVertexID(buf, k)
+		buf = append(buf, byte(len(view)))
+		for _, v := range view {
+			buf = appendVertexID(buf, v)
 		}
-		b.WriteByte(';')
 	}
-	return b.String()
+	return string(buf)
+}
+
+func appendVertexID(buf []byte, v sc.VertexID) []byte {
+	return append(buf, byte(v), byte(uint32(v)>>8), byte(uint32(v)>>16), byte(uint32(v)>>24))
 }
 
 // Carrier returns the carrier of a subdivision vertex in the base

@@ -1,0 +1,65 @@
+package procs
+
+import "testing"
+
+// TestPackedKeyInjective checks that PackedKey is collision-free over
+// every ordered partition of every subset of a 5-process system — the
+// same key space the membership hot path relies on.
+func TestPackedKeyInjective(t *testing.T) {
+	seen := make(map[uint64]string)
+	for _, ground := range NonemptySubsets(FullSet(5)) {
+		for _, op := range EnumerateOrderedPartitions(ground) {
+			k := op.PackedKey()
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("PackedKey collision: %v and %s share %#x", op, prev, k)
+			}
+			seen[k] = op.String()
+		}
+	}
+}
+
+// TestPackedKeyMatchesStringKey checks that the binary key induces the
+// same equivalence as the canonical string key.
+func TestPackedKeyMatchesStringKey(t *testing.T) {
+	ops := EnumerateOrderedPartitions(FullSet(4))
+	for _, a := range ops {
+		for _, b := range ops {
+			if (a.Key() == b.Key()) != (a.PackedKey() == b.PackedKey()) {
+				t.Fatalf("key equivalence mismatch: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestPackedKeyOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackedKey beyond PackedKeyMaxProcs should panic")
+		}
+	}()
+	op := OrderedPartition{SetOf(ID(PackedKeyMaxProcs))}
+	_ = op.PackedKey()
+}
+
+// TestPackedKeyBlockCapacity pins the nibble-capacity boundary: 15
+// singleton blocks encode (and stay distinct from nearby partitions),
+// 16 blocks panic instead of silently colliding with the 15-block key.
+func TestPackedKeyBlockCapacity(t *testing.T) {
+	blocks15 := make(OrderedPartition, 0, 15)
+	for p := 0; p < 15; p++ {
+		blocks15 = append(blocks15, SetOf(ID(p)))
+	}
+	merged := make(OrderedPartition, 0, 14)
+	merged = append(merged, SetOf(0, 1))
+	merged = append(merged, blocks15[2:]...)
+	if blocks15.PackedKey() == merged.PackedKey() {
+		t.Fatal("15-block and 14-block partitions collide")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("16-block partition should panic, not collide")
+		}
+	}()
+	blocks16 := append(blocks15.Clone(), SetOf(15))
+	_ = blocks16.PackedKey()
+}

@@ -3,6 +3,7 @@ package procs
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"strings"
 )
@@ -132,6 +133,39 @@ func (op OrderedPartition) Key() string {
 		fmt.Fprintf(&b, "%x|", uint32(blk))
 	}
 	return b.String()
+}
+
+// PackedKeyMaxProcs bounds the ground sets PackedKey can encode: the
+// nibble layout holds 16 processes in at most 15 blocks (1-based block
+// indices must fit a nibble). Ordered-partition enumeration grows with
+// the Fubini numbers (4683 at n=6, ~10^9 at n=12), so every enumerable
+// instance fits with a wide margin.
+const PackedKeyMaxProcs = 16
+
+// PackedKey encodes the partition as a single comparable word: the
+// nibble at position 4p holds the 1-based block index of process p, 0
+// marking absence. Two partitions within the packed capacity (ground ⊆
+// {p1..p16}, at most 15 blocks) are equal iff their packed keys are;
+// the encoding is the membership hot-path key, replacing the fmt-built
+// string form of Key. Panics beyond the capacity rather than colliding.
+func (op OrderedPartition) PackedKey() uint64 {
+	if len(op) >= PackedKeyMaxProcs {
+		// Block index PackedKeyMaxProcs would not fit its nibble.
+		panic("procs: PackedKey on partition with more than 15 blocks")
+	}
+	var key uint64
+	for i, blk := range op {
+		if uint32(blk)>>PackedKeyMaxProcs != 0 {
+			panic("procs: PackedKey on partition beyond PackedKeyMaxProcs")
+		}
+		idx := uint64(i + 1)
+		for b := blk; b != 0; {
+			p := ID(bits.TrailingZeros32(uint32(b)))
+			key |= idx << (4 * uint(p))
+			b = b.Remove(p)
+		}
+	}
+	return key
 }
 
 // EnumerateOrderedPartitions returns every ordered partition of ground,

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/affine"
 	"repro/internal/chromatic"
@@ -373,24 +375,52 @@ func (s *searcher) solve() (bool, error) {
 
 // VerifyWitness re-validates a returned map independently: simplicial,
 // chromatic, and carried by Δ on every simplex of the subdivision.
-// Used by tests to guard against solver bugs.
+// Used by tests (and the census engine) to guard against solver bugs.
+// The carried-by-Δ sweep runs over the default worker pool; use
+// VerifyWitnessWith to pin the worker count or reuse a tower cache.
 func VerifyWitness(task *tasks.Task, member chromatic.Membership, rounds int, m sc.Map) error {
-	tower := chromatic.NewTower(task.Input)
-	for i := 0; i < rounds; i++ {
-		if err := tower.Extend(member); err != nil {
+	return VerifyWitnessWith(task, member, rounds, m, Options{})
+}
+
+// VerifyWitnessWith is VerifyWitness with explicit engine options. The
+// simplex sweep is partitioned across opts.Workers goroutines with early
+// exit once a violation is found; because candidates are checked in the
+// deterministic sorted simplex order and the lowest-indexed violation
+// wins, the returned error is identical for every worker count. When
+// opts.Cache and opts.CacheKey are set the iterated subdivision is
+// acquired from (and shared through) the cache instead of being rebuilt.
+func VerifyWitnessWith(task *tasks.Task, member chromatic.Membership, rounds int, m sc.Map, opts Options) error {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = chromatic.DefaultWorkers()
+	}
+	var tower *chromatic.Tower
+	if opts.Cache != nil && opts.CacheKey != "" {
+		cached := opts.Cache.Acquire(opts.CacheKey, task.Input, workers)
+		if err := cached.EnsureHeight(member, rounds); err != nil {
 			return err
 		}
+		tower = cached.Tower()
+	} else {
+		tower = chromatic.NewTower(task.Input)
+		tower.SetWorkers(workers)
+		for i := 0; i < rounds; i++ {
+			if err := tower.Extend(member); err != nil {
+				return err
+			}
+		}
 	}
-	top := tower.Top()
+	top := tower.LevelComplex(rounds)
 	if err := m.VerifySimplicial(top, task.Output); err != nil {
 		return err
 	}
 	if err := m.VerifyChromatic(top, task.Output); err != nil {
 		return err
 	}
-	for _, s := range top.Simplices() {
+	sims := top.Simplices() // deterministic sorted order
+	check := func(s sc.Simplex) error {
 		img := m.Apply(s)
-		carrier := tower.RootCarrierOf(s)
+		carrier := tower.RootCarrierOfAt(rounds, s)
 		for _, o := range img {
 			if !task.VertexAllowed(carrier, o) {
 				return fmt.Errorf("vertex map not carried at %v", s)
@@ -399,6 +429,49 @@ func VerifyWitness(task *tasks.Task, member chromatic.Membership, rounds int, m 
 		if !task.SimplexAllowed(carrier, img) {
 			return fmt.Errorf("simplex map not carried at %v", s)
 		}
+		return nil
+	}
+	if workers == 1 {
+		for _, s := range sims {
+			if err := check(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Parallel sweep: workers pull simplex indices from a shared cursor
+	// and record violations under the lowest index seen so far; indices
+	// above the current winner are skipped (early exit). The final
+	// winner is the first violation of the serial order.
+	errs := make([]error, len(sims))
+	failed := atomic.Int64{}
+	failed.Store(int64(len(sims)))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(sims) || int64(i) > failed.Load() {
+					return
+				}
+				if err := check(sims[i]); err != nil {
+					errs[i] = err
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if idx := failed.Load(); idx < int64(len(sims)) {
+		return errs[idx]
 	}
 	return nil
 }

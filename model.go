@@ -29,7 +29,18 @@ type Model struct {
 // check fairness with Adversary().IsFair() when the FACT guarantees are
 // required.
 func NewModel(a *adversary.Adversary) (*Model, error) {
-	u := chromatic.NewUniverse(a.N())
+	return NewModelWithUniverse(chromatic.NewUniverse(a.N()), a)
+}
+
+// NewModelWithUniverse is NewModel over a caller-provided Chr² vertex
+// interner, so many models of the same system size share one vertex
+// identity space instead of re-interning per model — what the census
+// engine does internally for whole-landscape sweeps. The universe must
+// have the adversary's system size and is safe to share concurrently.
+func NewModelWithUniverse(u *chromatic.Universe, a *adversary.Adversary) (*Model, error) {
+	if u.N() != a.N() {
+		return nil, fmt.Errorf("model for %v: universe has n=%d, adversary n=%d", a, u.N(), a.N())
+	}
 	ra, err := affine.BuildRAForAdversary(u, a, affine.DefaultVariant)
 	if err != nil {
 		return nil, fmt.Errorf("model for %v: %w", a, err)
@@ -92,6 +103,18 @@ func (m *Model) SolveWith(task *Task, maxRounds int, opts SolverOptions) (*Solve
 // theorem the answer is k ≥ Setcon().
 func (m *Model) SolveKSetConsensus(k, maxRounds int) (*SolveResult, error) {
 	return m.Solve(tasks.KSetConsensus(m.N(), k), maxRounds)
+}
+
+// VerifyWitness independently re-validates a witness map returned by
+// Solve: simplicial, chromatic, and carried by Δ on every simplex of
+// R_A^rounds(I). The sweep runs on the model's worker pool (SetWorkers)
+// and reuses the process-wide tower cache.
+func (m *Model) VerifyWitness(task *Task, rounds int, witness VertexMap) error {
+	return solver.VerifyWitnessWith(task, m.ra.Membership(), rounds, witness, solver.Options{
+		Workers:  m.workers,
+		Cache:    chromatic.DefaultTowerCache,
+		CacheKey: m.ra.Signature(),
+	})
 }
 
 // VerifyAlgorithmOne runs the Theorem 7 verification campaign: `trials`
