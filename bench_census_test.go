@@ -93,3 +93,97 @@ func BenchmarkVerifyWitness(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCensusStream compares the streaming engine against the
+// collecting one over the n=3 domain — the tentpole claim is that
+// bounded-memory streaming costs nothing on throughput — plus the
+// orbit-reduced sweep, which examines 40 of the 128 adversaries for
+// the same totals.
+func BenchmarkCensusStream(b *testing.B) {
+	check := func(b *testing.B, sum CensusSummary) {
+		b.Helper()
+		if sum.Fair != 44 || sum.Total != 128 {
+			b.Fatalf("summary (total %d, fair %d), want (128, 44)", sum.Total, sum.Fair)
+		}
+	}
+	b.Run("collect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := RunCensus(3, CensusOptions{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, rep.Summary)
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := StreamCensus(3, CensusOptions{Workers: 4}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, rep.Summary)
+		}
+	})
+	b.Run("stream-orbits", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := StreamCensus(3, CensusOptions{Workers: 4, Orbits: true}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, rep.Summary)
+			if rep.Summary.Orbits != 40 {
+				b.Fatalf("orbits = %d, want 40", rep.Summary.Orbits)
+			}
+		}
+	})
+}
+
+// BenchmarkSolveTowerEviction measures the tower cache under a byte
+// budget: three distinct R_A towers cycled through a budget that holds
+// roughly one, so every acquire rebuilds (the eviction worst case),
+// against the unbounded cache where every acquire after the first is a
+// hit. The gap prices LRU eviction for budget tuning on long campaigns.
+func BenchmarkSolveTowerEviction(b *testing.B) {
+	u := chromatic.NewUniverse(3)
+	advs := []*adversary.Adversary{
+		adversary.TResilient(3, 1),
+		adversary.KObstructionFree(3, 1),
+		adversary.KObstructionFree(3, 2),
+	}
+	var ras []*affine.Task
+	var budget int64
+	for _, a := range advs {
+		ra, err := affine.BuildRAForAdversary(u, a, affine.DefaultVariant)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ras = append(ras, ra)
+	}
+	task := tasks.KSetConsensus(3, 2)
+	// Budget: what one extended tower occupies (measured, not guessed).
+	{
+		probe := chromatic.NewTowerCache()
+		if _, err := solver.SolveAffineWith(task, ras[0], 1, solver.Options{Cache: probe}); err != nil {
+			b.Fatal(err)
+		}
+		budget = probe.Snapshot().Bytes + 1
+	}
+	run := func(b *testing.B, cache *chromatic.TowerCache) {
+		for i := 0; i < b.N; i++ {
+			ra := ras[i%len(ras)]
+			res, err := solver.SolveAffineWith(task, ra, 1, solver.Options{Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Solvable {
+				b.Fatal("2-set consensus should be solvable here")
+			}
+		}
+	}
+	b.Run("budgeted-evicting", func(b *testing.B) {
+		run(b, chromatic.NewTowerCacheWithBudget(budget))
+	})
+	b.Run("unbounded", func(b *testing.B) {
+		run(b, chromatic.NewTowerCache())
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -71,7 +72,12 @@ subcommands:
   affine     -n N -kind K [flags]           affine task R_A stats
   classify   -n N                           adversary census (Figure 2)
   census     -n N [-workers W] [-json] [-solve -ktask K -rounds L -verify]
-             [-stats] [-progress]           parallel adversary census
+             [-stats] [-progress] [-orbits] [-out F.jsonl]
+             [-checkpoint F -resume] [-checkpoint-every I]
+             [-maxindices I] [-budget D] [-cachemb M]
+                                            parallel adversary census
+                                            (streaming, checkpointable,
+                                            orbit symmetry reduction)
   figures    -dir DIR                       regenerate figure SVGs
   solve      -n N -kind K [flags] -k K' [-workers W] [-stats]
                                             k-set consensus solvability
@@ -196,8 +202,19 @@ func cmdCensus(args []string) error {
 	verify := fs.Bool("verify", false, "independently re-verify every witness map (-solve)")
 	stats := fs.Bool("stats", false, "print tower-cache statistics to stderr (requires -solve)")
 	progress := fs.Bool("progress", false, "report shard progress to stderr")
+	orbits := fs.Bool("orbits", false, "sweep one representative per color-permutation orbit (same totals, up to n! fewer adversaries)")
+	out := fs.String("out", "", "stream entries as JSON lines to this file (bounded memory; no domain cap)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint sidecar path (periodic atomic frontier records)")
+	checkpointEvery := fs.Uint64("checkpoint-every", 0, "enumeration indices between checkpoints (0 = default)")
+	resume := fs.Bool("resume", false, "resume from -checkpoint when it exists (missing sidecar starts fresh)")
+	maxIndices := fs.Uint64("maxindices", 0, "stop cleanly after about this many newly swept indices (0 = no cap)")
+	budget := fs.Duration("budget", 0, "wall-clock budget; the sweep winds down cleanly when it elapses (0 = none)")
+	cacheMB := fs.Int64("cachemb", 0, "tower-cache byte budget in MiB for -solve (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *n < 1 || *n > 6 {
+		return fmt.Errorf("census: -n must be in [1,6], got %d", *n)
 	}
 	opts := fact.CensusOptions{
 		Workers:         *workers,
@@ -205,13 +222,61 @@ func cmdCensus(args []string) error {
 		KTask:           *kTask,
 		MaxRounds:       *rounds,
 		VerifyWitnesses: *verify,
+		Orbits:          *orbits,
+		Checkpoint:      *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		Resume:          *resume,
+		MaxIndices:      *maxIndices,
+		Budget:          *budget,
+		CacheBytes:      *cacheMB << 20,
 	}
 	if *progress {
 		opts.Progress = func(done, total uint64) {
 			fmt.Fprintf(os.Stderr, "census: %d/%d adversaries\n", done, total)
 		}
 	}
-	rep, err := fact.RunCensus(*n, opts)
+
+	// The collecting engine materializes every entry (the full -json
+	// report); streaming runs hold memory bounded by the reorder window
+	// and are what checkpoints, budgets and big domains require.
+	streaming := *out != "" || *checkpoint != "" || *resume ||
+		*maxIndices > 0 || *budget > 0 || fact.CensusSize(*n) > fact.CensusMaxDomain
+	var rep *fact.CensusReport
+	var err error
+	if streaming {
+		// SIGINT winds the sweep down to a clean, checkpointed
+		// frontier instead of tearing the stream mid-shard.
+		stop := make(chan struct{})
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt)
+		defer func() {
+			signal.Stop(sigc)
+			close(sigc)
+		}()
+		go func() {
+			if _, ok := <-sigc; ok {
+				// Hand SIGINT back to the default handler so a second
+				// Ctrl-C force-quits a wind-down that takes too long.
+				signal.Stop(sigc)
+				fmt.Fprintln(os.Stderr, "census: interrupt — winding down to a clean frontier (interrupt again to force quit)")
+				close(stop)
+			}
+		}()
+		opts.Stop = stop
+
+		var sink fact.CensusSink
+		if *out != "" {
+			js, err := fact.NewCensusJSONLSink(*out)
+			if err != nil {
+				return err
+			}
+			defer js.Close()
+			sink = js
+		}
+		rep, err = fact.StreamCensus(*n, opts, sink)
+	} else {
+		rep, err = fact.RunCensus(*n, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -220,6 +285,15 @@ func cmdCensus(args []string) error {
 			printCacheStats(*rep.Cache)
 		} else {
 			fmt.Fprintln(os.Stderr, "census: -stats reports the tower cache, which only solve jobs use; pass -solve")
+		}
+	}
+	if rep.Incomplete {
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "census: incomplete — frontier at index %d/%d; rerun with -resume -checkpoint %q to continue\n",
+				rep.NextIndex, fact.CensusSize(*n), *checkpoint)
+		} else {
+			fmt.Fprintf(os.Stderr, "census: incomplete — stopped at index %d/%d with no -checkpoint, so this progress cannot be resumed\n",
+				rep.NextIndex, fact.CensusSize(*n))
 		}
 	}
 	if *jsonOut {
@@ -247,6 +321,10 @@ func printCensusSummary(rep *fact.CensusReport) {
 		if c > 0 {
 			fmt.Printf("    setcon=%d: %d adversaries\n", k, c)
 		}
+	}
+	if s.Orbits > 0 {
+		fmt.Printf("  orbit representatives examined: %d (symmetry reduction %.1fx)\n",
+			s.Orbits, float64(s.Total)/float64(s.Orbits))
 	}
 	if s.Solved > 0 {
 		fmt.Printf("  solve mode (k=%d):\n", s.KTask)

@@ -83,6 +83,8 @@ func TestRunErrors(t *testing.T) {
 		{"bogus"},
 		{"adversary", "-kind", "nonsense"},
 		{"adversary", "-n", "4", "-kind", "fig5b"}, // fig5b is n=3 only
+		{"census", "-n", "7"},                      // domain out of range must error, not panic
+		{"census", "-n", "0", "-out", "x.jsonl"},   // streaming path validates too
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -124,5 +126,90 @@ func TestSolveCommand(t *testing.T) {
 func TestSimulateCommand(t *testing.T) {
 	if err := run([]string{"simulate", "-n", "3", "-kind", "kof", "-k", "1", "-trials", "10"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCensusStreamingCLI drives the streaming surface end to end: an
+// interrupted (-maxindices) run with a checkpoint, resumed to
+// completion, must leave a JSONL stream and summary byte-identical to
+// an uninterrupted run — serial and parallel.
+func TestCensusStreamingCLI(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	fullOut := captureStdout(t, func() error {
+		return run([]string{"census", "-n", "3", "-workers", "1", "-out", full})
+	})
+	fullBytes, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullBytes) == 0 {
+		t.Fatal("streaming run wrote no entries")
+	}
+	for _, workers := range []string{"1", "8"} {
+		out := filepath.Join(dir, "part-w"+workers+".jsonl")
+		ck := filepath.Join(dir, "ck-w"+workers+".json")
+		_ = captureStdout(t, func() error {
+			return run([]string{"census", "-n", "3", "-workers", workers,
+				"-out", out, "-checkpoint", ck, "-checkpoint-every", "16", "-maxindices", "48"})
+		})
+		if _, err := os.Stat(ck); err != nil {
+			t.Fatalf("workers=%s: no checkpoint written: %v", workers, err)
+		}
+		resumed := captureStdout(t, func() error {
+			return run([]string{"census", "-n", "3", "-workers", workers,
+				"-out", out, "-checkpoint", ck, "-resume"})
+		})
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(fullBytes) {
+			t.Errorf("workers=%s: resumed JSONL differs from uninterrupted run", workers)
+		}
+		if resumed != fullOut {
+			t.Errorf("workers=%s: resumed summary differs from uninterrupted run:\n%s\n%s", workers, resumed, fullOut)
+		}
+	}
+}
+
+// TestCensusOrbitsCLI checks -orbits reports the same totals as the
+// full sweep (modulo its extra orbit-representatives line).
+func TestCensusOrbitsCLI(t *testing.T) {
+	fullOut := captureStdout(t, func() error {
+		return run([]string{"census", "-n", "3"})
+	})
+	orbOut := captureStdout(t, func() error {
+		return run([]string{"census", "-n", "3", "-orbits"})
+	})
+	var kept []string
+	for _, line := range strings.Split(orbOut, "\n") {
+		if strings.Contains(line, "orbit representatives") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if strings.Join(kept, "\n") != fullOut {
+		t.Errorf("orbit summary (minus orbit line) differs from full sweep:\n%q\n%q", orbOut, fullOut)
+	}
+	if orbOut == fullOut {
+		t.Error("orbit summary should report the representatives examined")
+	}
+}
+
+// TestCensusResumeWithoutCheckpointStartsFresh pins the CI-robustness
+// behavior: -resume with a missing sidecar is a fresh full run.
+func TestCensusResumeWithoutCheckpointStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.jsonl")
+	ck := filepath.Join(dir, "never-written.json")
+	fresh := captureStdout(t, func() error {
+		return run([]string{"census", "-n", "3", "-out", out, "-checkpoint", ck, "-resume"})
+	})
+	plain := captureStdout(t, func() error {
+		return run([]string{"census", "-n", "3"})
+	})
+	if fresh != plain {
+		t.Errorf("fresh -resume run differs from plain census:\n%q\n%q", fresh, plain)
 	}
 }

@@ -68,6 +68,17 @@ type (
 	CensusSummary = census.Summary
 	// CensusReport is the deterministic result of a census run.
 	CensusReport = census.Report
+	// CensusSink consumes streamed census entries in enumeration order.
+	CensusSink = census.Sink
+	// CensusCollector is the in-memory census sink.
+	CensusCollector = census.Collector
+	// CensusJSONLSink streams census entries as JSON lines to a file.
+	CensusJSONLSink = census.JSONLSink
+	// CensusCheckpoint is the resume state of a streaming census run.
+	CensusCheckpoint = census.Checkpoint
+	// AdversaryOrbits enumerates color-permutation orbits of the census
+	// domain (the -orbits symmetry reduction).
+	AdversaryOrbits = adversary.Orbits
 	// AlgOneReport aggregates an Algorithm 1 verification campaign.
 	AlgOneReport = core.AlgOneReport
 	// SetConsensusReport aggregates a Section 6 simulation campaign.
@@ -99,9 +110,26 @@ var (
 	// CensusSize returns the number of adversaries over n processes.
 	CensusSize = adversary.CensusSize
 	// RunCensus sweeps every adversary over n processes with the
-	// sharded, parallel census engine (classify and solve modes).
+	// sharded, parallel census engine (classify and solve modes),
+	// materializing every entry (domains up to census.MaxDomain).
 	RunCensus = census.Run
+	// StreamCensus sweeps with bounded memory, emitting entries in
+	// enumeration order to a sink — checkpointable and resumable, with
+	// an orbit symmetry-reduction mode; no domain-size cap.
+	StreamCensus = census.Stream
+	// NewCensusJSONLSink opens a JSON-lines census stream.
+	NewCensusJSONLSink = census.NewJSONLSink
+	// LoadCensusCheckpoint reads a census checkpoint sidecar.
+	LoadCensusCheckpoint = census.LoadCheckpoint
+	// NewAdversaryOrbits precomputes the orbit tables for n processes.
+	NewAdversaryOrbits = adversary.NewOrbits
+	// AdversaryIndex is the inverse of AdversaryAt.
+	AdversaryIndex = adversary.EnumerationIndex
 )
+
+// CensusMaxDomain bounds the domains RunCensus materializes in memory;
+// StreamCensus has no such cap.
+const CensusMaxDomain = census.MaxDomain
 
 // Set helpers, re-exported.
 var (
@@ -118,6 +146,12 @@ var (
 	NewUniverse = chromatic.NewUniverse
 	// NewTowerCache creates an empty iterated-subdivision cache.
 	NewTowerCache = chromatic.NewTowerCache
+	// NewTowerCacheWithBudget creates a byte-budgeted cache (LRU
+	// eviction of least-recently-acquired towers).
+	NewTowerCacheWithBudget = chromatic.NewTowerCacheWithBudget
+	// SharedUniverse returns the process-wide per-n vertex interner
+	// NewModel builds against.
+	SharedUniverse = chromatic.SharedUniverse
 	// DefaultTowerCache is the process-wide subdivision cache used by
 	// Model.Solve and solver.SolveAffine.
 	DefaultTowerCache = chromatic.DefaultTowerCache

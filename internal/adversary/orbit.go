@@ -1,0 +1,214 @@
+package adversary
+
+// Color-permutation orbits of the census enumeration domain.
+//
+// Renaming processes maps an adversary to an isomorphic one: every
+// structural property the census classifies (superset closure, symmetry,
+// fairness, setcon, csize) and every solvability answer for a symmetric
+// task (k-set consensus) is invariant under the action. The n-process
+// enumeration domain therefore splits into orbits of the symmetric
+// group S_n, and a whole-landscape sweep only has to examine one
+// canonical representative per orbit — a reduction approaching n! that
+// is what makes the n=5 domain (2^31 adversaries) approachable.
+//
+// The action is computed on enumeration indices directly: bit i of an
+// index selects the i-th non-empty subset of Π as a live set, so a
+// process permutation π induces a permutation of the domain bit
+// positions (live set S at position i moves to the position of π(S)).
+// Orbits precomputes, per permutation, byte-indexed lookup tables that
+// remap a whole index in (domainBits/8) table reads — the canonicality
+// filter runs inside the census hot loop at n=5.
+
+import (
+	"fmt"
+
+	"repro/internal/procs"
+)
+
+// Orbits enumerates the S_n action on the n-process census domain.
+// Construct with NewOrbits; the value is immutable afterwards and safe
+// for concurrent use by any number of goroutines.
+type Orbits struct {
+	n          int
+	domainBits int
+	nPerms     int
+
+	// tables[p][b][v] is the image contribution of byte b having value
+	// v under permutation p: OR-ing the looked-up words of every byte
+	// of an index yields its image index.
+	tables [][][256]uint64
+}
+
+// NewOrbits precomputes the orbit tables for the n-process domain.
+// Table memory is n!·ceil((2^n−1)/8)·256 words — ~1 MiB at n=5.
+func NewOrbits(n int) *Orbits {
+	if n < 1 || n > 6 {
+		panic(fmt.Sprintf("adversary: NewOrbits n=%d out of [1,6]", n))
+	}
+	domain := EnumerationDomain(n)
+	posOf := make(map[procs.Set]int, len(domain))
+	for i, s := range domain {
+		posOf[s] = i
+	}
+	perms := permutations(n)
+	bits := len(domain)
+	nBytes := (bits + 7) / 8
+	o := &Orbits{n: n, domainBits: bits, nPerms: len(perms)}
+	o.tables = make([][][256]uint64, len(perms))
+	for p, perm := range perms {
+		// posPerm[i]: where the live set at domain position i lands.
+		posPerm := make([]int, bits)
+		for i, s := range domain {
+			var img procs.Set
+			s.ForEach(func(id procs.ID) { img = img.Add(perm[id]) })
+			posPerm[i] = posOf[img]
+		}
+		tab := make([][256]uint64, nBytes)
+		for b := 0; b < nBytes; b++ {
+			for v := 0; v < 256; v++ {
+				var out uint64
+				for j := 0; j < 8; j++ {
+					if v&(1<<j) == 0 {
+						continue
+					}
+					src := b*8 + j
+					if src < bits {
+						out |= 1 << uint(posPerm[src])
+					}
+				}
+				tab[b][v] = out
+			}
+		}
+		o.tables[p] = tab
+	}
+	return o
+}
+
+// N returns the system size of the domain.
+func (o *Orbits) N() int { return o.n }
+
+// NumPerms returns n! — the size of the acting group. Permutation 0 is
+// the identity.
+func (o *Orbits) NumPerms() int { return o.nPerms }
+
+// Image returns the enumeration index of the adversary obtained by
+// renaming the processes of the idx-th adversary under permutation p.
+func (o *Orbits) Image(idx uint64, p int) uint64 {
+	var out uint64
+	for b, tab := range o.tables[p] {
+		out |= tab[(idx>>(8*uint(b)))&0xff]
+	}
+	return out
+}
+
+// IsCanonical reports whether idx is the canonical representative of
+// its orbit: the minimum enumeration index among all its images.
+func (o *Orbits) IsCanonical(idx uint64) bool {
+	for p := 1; p < o.nPerms; p++ {
+		if o.Image(idx, p) < idx {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns the canonical representative of the orbit of idx
+// and the orbit's size (the number of distinct adversaries it contains,
+// n!/|stabilizer| by orbit–stabilizer).
+func (o *Orbits) Canonical(idx uint64) (canon uint64, size uint64) {
+	canon = idx
+	stab := uint64(0)
+	for p := 0; p < o.nPerms; p++ {
+		img := o.Image(idx, p)
+		if img < canon {
+			canon = img
+		}
+		if img == idx {
+			stab++
+		}
+	}
+	return canon, uint64(o.nPerms) / stab
+}
+
+// OrbitSize returns the size of the orbit of idx.
+func (o *Orbits) OrbitSize(idx uint64) uint64 {
+	_, size := o.Canonical(idx)
+	return size
+}
+
+// ForEachRepresentative calls f for every canonical orbit
+// representative of the domain in increasing index order, with the
+// orbit size. Stops early when f returns false.
+func (o *Orbits) ForEachRepresentative(f func(idx, size uint64) bool) {
+	total := CensusSize(o.n)
+	for idx := uint64(0); idx < total; idx++ {
+		if !o.IsCanonical(idx) {
+			continue
+		}
+		_, size := o.Canonical(idx)
+		if !f(idx, size) {
+			return
+		}
+	}
+}
+
+// EnumerationIndex is the inverse of AdversaryAt: the index of the
+// adversary in the n-process enumeration order.
+func EnumerationIndex(a *Adversary) uint64 {
+	domain := EnumerationDomain(a.n)
+	posOf := make(map[procs.Set]int, len(domain))
+	for i, s := range domain {
+		posOf[s] = i
+	}
+	var idx uint64
+	for _, s := range a.live {
+		idx |= 1 << uint(posOf[s])
+	}
+	return idx
+}
+
+// Permute returns the adversary with every process p renamed to
+// perm[p]. perm must be a permutation of 0..n−1.
+func (a *Adversary) Permute(perm []procs.ID) *Adversary {
+	live := make([]procs.Set, 0, len(a.live))
+	for _, s := range a.live {
+		var img procs.Set
+		s.ForEach(func(id procs.ID) { img = img.Add(perm[id]) })
+		live = append(live, img)
+	}
+	out, err := New(a.n, live...)
+	if err != nil {
+		panic("adversary: Permute produced invalid live sets") // unreachable for valid perms
+	}
+	return out
+}
+
+// Permutations returns all n! permutations of 0..n−1 in a deterministic
+// order with the identity first — the same order Orbits.Image indexes.
+func Permutations(n int) [][]procs.ID { return permutations(n) }
+
+func permutations(n int) [][]procs.ID {
+	ids := make([]procs.ID, n)
+	for i := range ids {
+		ids[i] = procs.ID(i)
+	}
+	var out [][]procs.ID
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]procs.ID, n)
+			copy(cp, ids)
+			out = append(out, cp)
+			return
+		}
+		// Lexicographic-ish deterministic order; identity is emitted
+		// first because the first branch keeps positions in place.
+		for i := k; i < n; i++ {
+			ids[k], ids[i] = ids[i], ids[k]
+			rec(k + 1)
+			ids[k], ids[i] = ids[i], ids[k]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,160 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/procs"
+)
+
+// TestOrbitImageMatchesPermute cross-checks the byte-table index remap
+// against the reference path: permuting the adversary's live sets
+// directly and re-deriving its enumeration index.
+func TestOrbitImageMatchesPermute(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		o := NewOrbits(n)
+		perms := Permutations(n)
+		if len(perms) != o.NumPerms() {
+			t.Fatalf("n=%d: %d perms, orbits reports %d", n, len(perms), o.NumPerms())
+		}
+		total := CensusSize(n)
+		for idx := uint64(0); idx < total; idx++ {
+			a := AdversaryAt(n, idx)
+			for p, perm := range perms {
+				want := EnumerationIndex(a.Permute(perm))
+				if got := o.Image(idx, p); got != want {
+					t.Fatalf("n=%d idx=%d perm=%v: Image=%d, permuted index=%d",
+						n, idx, perm, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOrbitIdentityFirst pins permutation 0 as the identity: Image must
+// be the identity map on indices.
+func TestOrbitIdentityFirst(t *testing.T) {
+	o := NewOrbits(4)
+	for _, idx := range []uint64{0, 1, 5, 1234, CensusSize(4) - 1} {
+		if got := o.Image(idx, 0); got != idx {
+			t.Fatalf("Image(%d, identity) = %d", idx, got)
+		}
+	}
+}
+
+// TestOrbitCanonicalization checks, over the full n ≤ 3 domains, that
+// every adversary maps to a canonical representative inside its own
+// orbit, that the representative is itself canonical, and that every
+// member of the orbit agrees on it.
+func TestOrbitCanonicalization(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		o := NewOrbits(n)
+		total := CensusSize(n)
+		for idx := uint64(0); idx < total; idx++ {
+			canon, size := o.Canonical(idx)
+			if canon > idx {
+				t.Fatalf("n=%d: canonical rep %d above %d", n, canon, idx)
+			}
+			if !o.IsCanonical(canon) {
+				t.Fatalf("n=%d idx=%d: rep %d is not canonical", n, idx, canon)
+			}
+			if o.IsCanonical(idx) != (canon == idx) {
+				t.Fatalf("n=%d idx=%d: IsCanonical disagrees with Canonical=%d", n, idx, canon)
+			}
+			// The rep must be an actual image of idx, and every image
+			// must share the same rep and orbit size.
+			found := false
+			for p := 0; p < o.NumPerms(); p++ {
+				img := o.Image(idx, p)
+				if img == canon {
+					found = true
+				}
+				c2, s2 := o.Canonical(img)
+				if c2 != canon || s2 != size {
+					t.Fatalf("n=%d: orbit of %d disagrees at image %d: (%d,%d) vs (%d,%d)",
+						n, idx, img, c2, s2, canon, size)
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d idx=%d: canonical rep %d not in orbit", n, idx, canon)
+			}
+		}
+	}
+}
+
+// TestOrbitSizesSumToCensus checks that orbit sizes over the canonical
+// representatives partition the whole domain: Σ size = CensusSize(n)
+// for n ≤ 4 — the invariant that makes weighted orbit-mode census
+// totals equal full-sweep totals.
+func TestOrbitSizesSumToCensus(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		o := NewOrbits(n)
+		var sum, reps uint64
+		o.ForEachRepresentative(func(idx, size uint64) bool {
+			if !o.IsCanonical(idx) {
+				t.Fatalf("n=%d: representative %d not canonical", n, idx)
+			}
+			sum += size
+			reps++
+			return true
+		})
+		if sum != CensusSize(n) {
+			t.Fatalf("n=%d: orbit sizes sum to %d, want %d", n, sum, CensusSize(n))
+		}
+		if n >= 2 && reps >= CensusSize(n) {
+			t.Fatalf("n=%d: %d representatives — no reduction over %d", n, reps, CensusSize(n))
+		}
+		t.Logf("n=%d: %d orbits over %d adversaries", n, reps, CensusSize(n))
+	}
+}
+
+// TestOrbitClassInvariance spot-checks that the classified properties
+// are constant on orbits (the correctness condition for weighted
+// aggregation): for every n=3 adversary and permutation, the image
+// agrees on superset closure, symmetry, fairness, setcon and csize.
+func TestOrbitClassInvariance(t *testing.T) {
+	n := 3
+	o := NewOrbits(n)
+	total := CensusSize(n)
+	for idx := uint64(0); idx < total; idx++ {
+		a := AdversaryAt(n, idx)
+		ref := [5]int{b2i(a.IsSupersetClosed()), b2i(a.IsSymmetric()), b2i(a.IsFair()), a.Setcon(), a.CSize()}
+		for p := 1; p < o.NumPerms(); p++ {
+			b := AdversaryAt(n, o.Image(idx, p))
+			got := [5]int{b2i(b.IsSupersetClosed()), b2i(b.IsSymmetric()), b2i(b.IsFair()), b.Setcon(), b.CSize()}
+			if got != ref {
+				t.Fatalf("idx=%d perm=%d: class %v != %v", idx, p, got, ref)
+			}
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestEnumerationIndexRoundTrip checks EnumerationIndex inverts
+// AdversaryAt across the n=3 domain.
+func TestEnumerationIndexRoundTrip(t *testing.T) {
+	for idx := uint64(0); idx < CensusSize(3); idx++ {
+		if got := EnumerationIndex(AdversaryAt(3, idx)); got != idx {
+			t.Fatalf("round trip: %d -> %d", idx, got)
+		}
+	}
+}
+
+// TestPermuteIsomorphism checks Permute preserves live-set count and
+// sizes (a renaming, not a different adversary).
+func TestPermuteIsomorphism(t *testing.T) {
+	a := MustNew(3, procs.SetOf(0), procs.SetOf(1, 2))
+	perm := []procs.ID{2, 0, 1}
+	b := a.Permute(perm)
+	if b.NumLiveSets() != a.NumLiveSets() {
+		t.Fatalf("live set count changed: %d vs %d", b.NumLiveSets(), a.NumLiveSets())
+	}
+	if !b.Contains(procs.SetOf(2)) || !b.Contains(procs.SetOf(0, 1)) {
+		t.Fatalf("permuted live sets wrong: %v", b)
+	}
+}

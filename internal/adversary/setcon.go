@@ -54,29 +54,37 @@ func (a *Adversary) Setcon() int {
 }
 
 // Alpha evaluates the agreement function of the adversary at P:
-// α(P) = setcon(A|P). Memoized.
+// α(P) = setcon(A|P). Memoized — and the memo is the shared (P, Q)
+// setcon table, so α evaluations and fairness checks feed each other.
 func (a *Adversary) Alpha(p procs.Set) int {
-	if v, ok := a.alphaMemo[p]; ok {
-		return v
-	}
-	// Single shared recursion: setcon(A|P) restricted further is still a
-	// restriction of A, so one memo serves every P.
-	v := a.alphaRec(p)
-	return v
+	// A|P = A|P,P for non-empty live sets: the Q = P diagonal.
+	return a.setconTouch(p, p)
 }
 
-func (a *Adversary) alphaRec(p procs.Set) int {
-	if v, ok := a.alphaMemo[p]; ok {
+// setconTouch computes setcon(A|P,Q) — the set-consensus power of
+// {S ∈ A : S ⊆ P, S ∩ Q ≠ ∅} — through the per-adversary memo.
+//
+// The family is closed under the Definition 1 recursion: restricting
+// A|P,Q to live sets inside P' yields A|(P∩P'),Q, so a single memo
+// keyed by the (P, Q∩P) pair serves Setcon, every Alpha(P) and all
+// (P, Q) fairness probes of one adversary. This replaces the fresh
+// SetconOf memo the fairness sweep used to rebuild per (P, Q) pair —
+// Alpha/IsFair dominate census classification time.
+func (a *Adversary) setconTouch(p, q procs.Set) int {
+	q = q.Intersect(p) // membership of S ⊆ P depends on Q only via Q∩P
+	key := uint64(p)<<32 | uint64(q)
+	if v, ok := a.setconPQ[key]; ok {
 		return v
 	}
 	best := 0
 	for _, s := range a.live {
-		if !s.SubsetOf(p) {
+		if !s.SubsetOf(p) || !s.Intersects(q) {
 			continue
 		}
+		// min_{x∈S} setcon(A|(S\{x}), Q) + 1
 		inner := -1
 		s.ForEach(func(x procs.ID) {
-			v := a.alphaRec(s.Remove(x)) + 1
+			v := a.setconTouch(s.Remove(x), q) + 1
 			if inner < 0 || v < inner {
 				inner = v
 			}
@@ -85,7 +93,7 @@ func (a *Adversary) alphaRec(p procs.Set) int {
 			best = inner
 		}
 	}
-	a.alphaMemo[p] = best
+	a.setconPQ[key] = best
 	return best
 }
 
@@ -144,7 +152,7 @@ func (a *Adversary) FairnessWitness() (p, q procs.Set, fair bool) {
 			if alphaP < want {
 				want = alphaP
 			}
-			if SetconOf(a.RestrictTouching(pp, qq)) != want {
+			if a.setconTouch(pp, qq) != want {
 				violated = true
 				vp, vq = pp, qq
 				return false

@@ -6,21 +6,34 @@
 // The enumeration space — every adversary over n processes, indexed by
 // adversary.AdversaryAt — is partitioned into deterministic contiguous
 // shards. A bounded worker pool classifies (and optionally solves) the
-// adversaries of each shard, writing results into the entry slot of
-// their enumeration index, so the aggregated report is byte-identical
-// for every worker count. All solve jobs of one run share a single
-// chromatic.Universe (one Chr² vertex identity space per n) and a
-// single chromatic.TowerCache (iterated subdivisions built once per
-// distinct R_A signature), which is what makes whole-landscape sweeps
-// tractable.
+// adversaries of each shard; completed shards pass through a bounded
+// reorder buffer that emits entries to a pluggable Sink in strict
+// enumeration order, so every report and stream is byte-identical for
+// every worker count while memory stays O(workers × ShardSize) entries
+// — no full-domain slice, which is what lifts the engine from the
+// MaxDomain cap toward the n=5 domain of 2^31 adversaries. Periodic
+// checkpoints record the contiguous completed frontier plus the running
+// aggregates, so an interrupted campaign resumes where it left off with
+// byte-identical final output; an orbit mode sweeps one canonical
+// representative per color-permutation orbit (adversary.Orbits) and
+// weights the aggregates by orbit size, cutting the swept domain by up
+// to n! while reporting the same totals.
+//
+// All solve jobs of one run share a single chromatic.Universe (one Chr²
+// vertex identity space per n) and a single chromatic.TowerCache
+// (iterated subdivisions built once per distinct R_A signature, LRU
+// eviction under an optional byte budget), which is what makes
+// whole-landscape sweeps tractable.
 package census
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/affine"
@@ -30,13 +43,14 @@ import (
 	"repro/internal/tasks"
 )
 
-// MaxDomain bounds the enumeration spaces a census run materializes:
-// an entry is recorded per adversary, so the domain must fit in memory.
-// 2^15 = 32768 covers n ≤ 4; n = 5 already has 2^31 adversaries.
+// MaxDomain bounds the enumeration spaces Run materializes: the
+// collector records an entry per adversary, so the domain must fit in
+// memory. Streaming-sink runs (Stream) have no such cap — memory there
+// is bounded by the reorder window, not the domain.
 const MaxDomain = 1 << 22
 
-// ErrDomainTooLarge reports a census over an enumeration space beyond
-// MaxDomain.
+// ErrDomainTooLarge reports a collecting census over an enumeration
+// space beyond MaxDomain.
 var ErrDomainTooLarge = errors.New("census: enumeration domain too large")
 
 // Options tune a census run. The zero value selects the defaults:
@@ -70,13 +84,61 @@ type Options struct {
 	VerifyWitnesses bool
 
 	// Cache is the shared iterated-subdivision cache for solve jobs.
-	// Nil selects a cache private to the run.
+	// Nil selects a cache private to the run (byte-budgeted by
+	// CacheBytes when set).
 	Cache *chromatic.TowerCache
 
-	// Progress, when non-nil, is called after each completed shard with
-	// the number of classified adversaries so far and the domain size.
-	// Calls may come from any worker goroutine.
+	// CacheBytes bounds the run-private tower cache (LRU eviction) so
+	// long campaigns run flat. Only used when Cache is nil; <= 0 means
+	// unbounded.
+	CacheBytes int64
+
+	// Orbits sweeps one canonical representative per color-permutation
+	// orbit instead of the whole domain — up to n! fewer adversaries
+	// examined. Emitted entries carry their orbit size and the summary
+	// aggregates are orbit-weighted, so totals equal the full sweep's.
+	Orbits bool
+
+	// Checkpoint, when non-empty, is the sidecar path the run
+	// periodically records its frontier to (atomic write). See Resume.
+	Checkpoint string
+
+	// CheckpointEvery is the number of enumeration indices between
+	// checkpoints. <= 0 selects a default.
+	CheckpointEvery uint64
+
+	// Resume continues from the Checkpoint sidecar when it exists: the
+	// sweep restarts at the recorded frontier, resumable sinks truncate
+	// to the recorded offset, and the final output is byte-identical to
+	// an uninterrupted run. A missing sidecar starts fresh.
+	Resume bool
+
+	// MaxIndices, when > 0, budgets this run to about that many newly
+	// swept enumeration indices (rounded up to whole shards). The run
+	// stops cleanly at a contiguous frontier and reports Incomplete —
+	// the deterministic form of an interruption, used with Checkpoint
+	// to split a campaign across sessions.
+	MaxIndices uint64
+
+	// Budget, when > 0, is the wall-clock budget: once elapsed, workers
+	// stop claiming new shards and the run winds down to a clean
+	// frontier (checkpointed when Checkpoint is set).
+	Budget time.Duration
+
+	// Stop, when non-nil, interrupts the run when it becomes readable
+	// (or is closed): the graceful-kill hook wired to SIGINT by
+	// factool. Same clean wind-down as Budget.
+	Stop <-chan struct{}
+
+	// Progress, when non-nil, is called as the contiguous completed
+	// frontier advances, with the number of enumeration indices done
+	// (monotone) and the domain size. Calls come from worker
+	// goroutines, one at a time.
 	Progress func(done, total uint64)
+
+	// examineHook, when non-nil, observes every examined index before
+	// its entry is reordered (test instrumentation: any goroutine).
+	examineHook func(idx uint64)
 }
 
 // Entry is the census record of one adversary. Every field is a
@@ -92,6 +154,11 @@ type Entry struct {
 	Setcon         int      `json:"setcon"`
 	CSize          int      `json:"csize"`
 
+	// OrbitSize is the number of adversaries in this entry's
+	// color-permutation orbit (orbit-mode sweeps only, where the entry
+	// is the orbit's canonical representative).
+	OrbitSize uint64 `json:"orbit_size,omitempty"`
+
 	// Solve-mode fields (omitted when the adversary was not solved:
 	// Solve unset, unfair adversary, or empty R_A).
 	Solved    bool  `json:"solved,omitempty"`
@@ -101,7 +168,10 @@ type Entry struct {
 	Undecided bool  `json:"undecided,omitempty"`
 }
 
-// Summary aggregates a census in enumeration order.
+// Summary aggregates a census in enumeration order. In orbit mode every
+// counter is weighted by orbit size, so a reduced sweep reports the
+// same totals as the full one; Orbits counts the representatives
+// actually examined.
 type Summary struct {
 	N                   int      `json:"n"`
 	Total               uint64   `json:"total"`
@@ -111,6 +181,9 @@ type Summary struct {
 	InclusionViolations uint64   `json:"inclusion_violations"`
 	SetconHist          []uint64 `json:"setcon_hist"` // over fair adversaries; index = setcon
 
+	// Orbits counts canonical representatives emitted (orbit mode).
+	Orbits uint64 `json:"orbits,omitempty"`
+
 	// Solve-mode aggregates.
 	KTask     int    `json:"k_task,omitempty"`
 	Solved    uint64 `json:"solved,omitempty"`
@@ -118,34 +191,100 @@ type Summary struct {
 	Undecided uint64 `json:"undecided,omitempty"`
 }
 
-// Report is the full result of a census run: the summary, the
-// per-adversary entries in enumeration order, and — when solve jobs ran
-// — the shared subdivision-cache statistics. Marshalled to JSON it is
-// byte-identical for every worker count.
+// Report is the result of a census run: the summary, the per-adversary
+// entries when a Collector gathered them (Run), and — when solve jobs
+// ran — the shared subdivision-cache statistics. Marshalled to JSON it
+// is byte-identical for every worker count (budgeted cache stats
+// excepted; see chromatic.CacheStats).
 type Report struct {
 	Summary Summary               `json:"summary"`
 	Cache   *chromatic.CacheStats `json:"cache,omitempty"`
-	Entries []Entry               `json:"entries"`
+
+	// Incomplete reports an interrupted run (budget, MaxIndices, or
+	// Stop): the sweep ended at the clean frontier NextIndex instead of
+	// the end of the domain. Resume from the checkpoint to continue.
+	Incomplete bool   `json:"incomplete,omitempty"`
+	NextIndex  uint64 `json:"next_index,omitempty"`
+
+	Entries []Entry `json:"entries,omitempty"`
 }
 
-// Run sweeps every adversary over n processes. See Options for the
-// classify/solve modes; the returned report is deterministic.
+// Run sweeps every adversary over n processes, materializing every
+// entry in memory (domains up to MaxDomain). See Options for the
+// classify/solve modes; the returned report is deterministic. For
+// larger domains — or bounded memory on any domain — use Stream.
 func Run(n int, opts Options) (*Report, error) {
+	if n >= 1 && n <= 6 {
+		if total := adversary.CensusSize(n); total > MaxDomain {
+			return nil, fmt.Errorf("%w: %d adversaries at n=%d (max %d; use Stream)",
+				ErrDomainTooLarge, total, n, MaxDomain)
+		}
+	}
+	col := &Collector{}
+	rep, err := Stream(n, opts, col)
+	if err != nil {
+		return nil, err
+	}
+	rep.Entries = col.Entries
+	return rep, nil
+}
+
+// Stream sweeps the n-process domain, emitting every entry to the sink
+// in strict enumeration order through a bounded reorder buffer: memory
+// is O(Workers × ShardSize) entries regardless of the domain size. A
+// nil sink aggregates only (the summarizer mode). The summary, the
+// stream, and any checkpoint are byte-deterministic across worker
+// counts and interruptions.
+func Stream(n int, opts Options, sink Sink) (*Report, error) {
 	if n < 1 || n > 6 {
 		return nil, fmt.Errorf("census: n must be in [1,6], got %d", n)
 	}
-	total := adversary.CensusSize(n)
-	if total > MaxDomain {
-		return nil, fmt.Errorf("%w: %d adversaries at n=%d (max %d)",
-			ErrDomainTooLarge, total, n, MaxDomain)
+	if sink == nil {
+		sink = Discard{}
 	}
+	if opts.Resume && opts.Checkpoint == "" {
+		// Silently ignoring Resume would reset persistent sinks to
+		// offset zero — destroying the campaign output it was meant to
+		// continue.
+		return nil, errors.New("census: Resume requires a Checkpoint path")
+	}
+	total := adversary.CensusSize(n)
+	fp := fingerprint(n, &opts)
+	kind := sinkKind(sink)
+
+	// Resume state: the contiguous completed frontier and the running
+	// aggregates recorded by the interrupted run's last checkpoint.
+	start := uint64(0)
+	var emitted uint64
+	var outBytes int64
+	sum := Summary{N: n, SetconHist: make([]uint64, n+1)}
+	if opts.Resume {
+		switch ck, err := LoadCheckpoint(opts.Checkpoint); {
+		case err == nil:
+			if err := ck.validate(fp, total, n, kind); err != nil {
+				return nil, err
+			}
+			start, emitted, outBytes, sum = ck.NextIndex, ck.Emitted, ck.OutBytes, ck.Summary
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh start: nothing checkpointed yet.
+		default:
+			return nil, err
+		}
+	}
+	if rs, ok := sink.(ResumableSink); ok {
+		if err := rs.ResumeAt(emitted, outBytes); err != nil {
+			return nil, err
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	shardSize := opts.ShardSize
-	if shardSize <= 0 {
-		shardSize = int(total / uint64(workers*8))
+	remaining := total - start
+	shardSize := uint64(opts.ShardSize)
+	if opts.ShardSize <= 0 {
+		shardSize = remaining / uint64(workers*8)
 		if shardSize < 1 {
 			shardSize = 1
 		}
@@ -163,7 +302,15 @@ func Run(n int, opts Options) (*Report, error) {
 	}
 	cache := opts.Cache
 	if cache == nil {
-		cache = chromatic.NewTowerCache()
+		if opts.CacheBytes > 0 {
+			cache = chromatic.NewTowerCacheWithBudget(opts.CacheBytes)
+		} else {
+			cache = chromatic.NewTowerCache()
+		}
+	}
+	checkpointEvery := opts.CheckpointEvery
+	if checkpointEvery == 0 {
+		checkpointEvery = 1 << 16
 	}
 
 	env := &runEnv{
@@ -176,73 +323,140 @@ func Run(n int, opts Options) (*Report, error) {
 		maxRounds: maxRounds,
 		verify:    opts.VerifyWitnesses,
 	}
+	if opts.Orbits {
+		env.orbits = adversary.NewOrbits(n)
+	}
 
-	entries := make([]Entry, total)
-	shards := (total + uint64(shardSize) - 1) / uint64(shardSize)
-	var cursor, done atomic.Uint64
-	var firstErr atomic.Pointer[error]
+	// Shard budget of this run: whole domain remainder, optionally
+	// capped by MaxIndices (rounded up to whole shards so the frontier
+	// stays contiguous).
+	shards := (remaining + shardSize - 1) / shardSize
+	if opts.MaxIndices > 0 {
+		if budget := (opts.MaxIndices + shardSize - 1) / shardSize; budget < shards {
+			shards = budget
+		}
+	}
+
+	em := &emitter{
+		sink:            sink,
+		sum:             &sum,
+		start:           start,
+		total:           total,
+		shardSize:       shardSize,
+		frontierIdx:     start,
+		emitted:         emitted,
+		parked:          make(map[uint64]parkedShard),
+		window:          uint64(workers) * 4,
+		orbits:          opts.Orbits,
+		checkpointPath:  opts.Checkpoint,
+		checkpointEvery: checkpointEvery,
+		lastCheckpoint:  start,
+		fingerprint:     fp,
+		sinkKind:        kind,
+		progress:        opts.Progress,
+	}
+	em.cond = sync.NewCond(&em.mu)
+
+	// Interrupts: wall-clock budget and the external stop hook both
+	// flip one flag; workers stop claiming new shards, finish the ones
+	// they hold, and the reorder buffer drains to a clean frontier.
+	var stop atomic.Bool
+	runDone := make(chan struct{})
+	defer close(runDone)
+	if opts.Budget > 0 {
+		t := time.AfterFunc(opts.Budget, func() { stop.Store(true) })
+		defer t.Stop()
+	}
+	if opts.Stop != nil {
+		go func() {
+			select {
+			case <-opts.Stop:
+				stop.Store(true)
+			case <-runDone:
+			}
+		}()
+	}
+
+	var cursor atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			buf := make([]Entry, 0, shardSize)
 			for {
-				s := cursor.Add(1) - 1
-				if s >= shards || firstErr.Load() != nil {
+				if stop.Load() || em.aborted() {
 					return
 				}
-				lo := s * uint64(shardSize)
-				hi := lo + uint64(shardSize)
+				s := cursor.Add(1) - 1
+				if s >= shards {
+					return
+				}
+				if !em.waitTurn(s) {
+					return
+				}
+				lo := start + s*shardSize
+				hi := lo + shardSize
 				if hi > total {
 					hi = total
 				}
+				buf = buf[:0]
+				covered := lo
 				for idx := lo; idx < hi; idx++ {
+					// Stop lands between indices, not shards: a solve
+					// shard can take minutes per index, so the shard is
+					// truncated here and delivered short — the reorder
+					// buffer cuts the run off at its boundary.
+					if stop.Load() {
+						break
+					}
+					if opts.examineHook != nil {
+						opts.examineHook(idx)
+					}
+					covered = idx + 1
+					if env.orbits != nil && !env.orbits.IsCanonical(idx) {
+						continue
+					}
 					e, err := env.examine(idx)
 					if err != nil {
-						firstErr.CompareAndSwap(nil, &err)
+						em.fail(err)
 						return
 					}
-					entries[idx] = e
+					if env.orbits != nil {
+						_, size := env.orbits.Canonical(idx)
+						e.OrbitSize = size
+					}
+					buf = append(buf, e)
 				}
-				if opts.Progress != nil {
-					opts.Progress(done.Add(hi-lo), total)
+				entries := make([]Entry, len(buf))
+				copy(entries, buf)
+				if !em.deliver(s, entries, covered, covered < hi) {
+					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if perr := firstErr.Load(); perr != nil {
-		return nil, *perr
+	if err := em.err; err != nil {
+		return nil, err
 	}
 
-	rep := &Report{
-		Summary: Summary{N: n, Total: total, SetconHist: make([]uint64, n+1)},
-		Entries: entries,
+	// Final flush + checkpoint at the clean frontier (also when the run
+	// completed, so a follow-up resume is a no-op).
+	if em.checkpointPath != "" {
+		if err := em.writeCheckpoint(); err != nil {
+			return nil, err
+		}
+	} else if f, ok := sink.(Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return nil, err
+		}
 	}
-	for i := range entries {
-		e := &entries[i]
-		if e.SupersetClosed {
-			rep.Summary.SupersetClosed++
-		}
-		if e.Symmetric {
-			rep.Summary.Symmetric++
-		}
-		if e.Fair {
-			rep.Summary.Fair++
-			rep.Summary.SetconHist[e.Setcon]++
-		}
-		if (e.SupersetClosed || e.Symmetric) && !e.Fair {
-			rep.Summary.InclusionViolations++
-		}
-		if e.Solved {
-			rep.Summary.Solved++
-			if e.Solvable != nil && *e.Solvable {
-				rep.Summary.Solvable++
-			}
-			if e.Undecided {
-				rep.Summary.Undecided++
-			}
-		}
+
+	rep := &Report{Summary: sum}
+	if em.frontierIdx < total {
+		rep.Incomplete = true
+		rep.NextIndex = em.frontierIdx
 	}
 	if opts.Solve {
 		rep.Summary.KTask = kTask
@@ -252,12 +466,208 @@ func Run(n int, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// emitter is the bounded reorder buffer between the unordered shard
+// workers and the strictly ordered sink. Workers park completed shards;
+// the worker that completes the frontier shard drains every contiguous
+// successor — emitting entries, folding aggregates, checkpointing —
+// then wakes the workers throttled by the window.
+type emitter struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	sink   Sink
+	sum    *Summary
+	orbits bool
+
+	start, total, shardSize uint64
+
+	nextShard   uint64                 // next shard to emit
+	frontierIdx uint64                 // first unswept enumeration index
+	emitted     uint64                 // entries delivered to the sink
+	parked      map[uint64]parkedShard // completed out-of-order shards
+	window      uint64                 // max shards a worker may run ahead
+
+	checkpointPath  string
+	checkpointEvery uint64
+	lastCheckpoint  uint64
+	fingerprint     string
+	sinkKind        string
+
+	// cutoff marks that a stop-truncated shard reached the frontier:
+	// the emitted prefix ends inside that shard's index range, so no
+	// later shard may be emitted (it would leave a hole). Set once,
+	// ends the run.
+	cutoff bool
+
+	progress func(done, total uint64)
+	err      error
+}
+
+// parkedShard is one completed shard awaiting its turn: its entries,
+// the first index it did NOT cover, and whether a stop truncated it
+// before its nominal end.
+type parkedShard struct {
+	entries []Entry
+	hi      uint64
+	short   bool
+}
+
+// waitTurn blocks the worker holding shard s until s is inside the
+// reorder window — the backpressure that bounds parked memory. Returns
+// false when the run failed or was cut off meanwhile.
+func (em *emitter) waitTurn(s uint64) bool {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	for s >= em.nextShard+em.window && em.err == nil && !em.cutoff {
+		em.cond.Wait()
+	}
+	return em.err == nil && !em.cutoff
+}
+
+// fail records the first error and wakes every throttled worker.
+func (em *emitter) fail(err error) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.err == nil {
+		em.err = err
+	}
+	em.cond.Broadcast()
+}
+
+// aborted reports whether the run already failed or was cut off.
+func (em *emitter) aborted() bool {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return em.err != nil || em.cutoff
+}
+
+// deliver parks a completed shard and drains the contiguous frontier.
+// A short shard ends the drain at its covered boundary (cutoff): later
+// shards would leave a hole after it, so they are discarded — their
+// indices stay above the frontier and are re-swept on resume. Returns
+// false when the worker should exit (failure or cutoff).
+func (em *emitter) deliver(s uint64, entries []Entry, hi uint64, short bool) bool {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.err != nil || em.cutoff {
+		return false
+	}
+	em.parked[s] = parkedShard{entries: entries, hi: hi, short: short}
+	for !em.cutoff {
+		batch, ok := em.parked[em.nextShard]
+		if !ok {
+			break
+		}
+		delete(em.parked, em.nextShard)
+		for i := range batch.entries {
+			e := &batch.entries[i]
+			if err := em.sink.Emit(e); err != nil {
+				em.err = err
+				em.cond.Broadcast()
+				return false
+			}
+			em.emitted++
+			em.aggregate(e)
+		}
+		em.nextShard++
+		if batch.short {
+			em.frontierIdx = batch.hi
+			em.cutoff = true
+		} else {
+			em.frontierIdx = em.start + em.nextShard*em.shardSize
+			if em.frontierIdx > em.total {
+				em.frontierIdx = em.total
+			}
+		}
+		if em.checkpointPath != "" && em.frontierIdx-em.lastCheckpoint >= em.checkpointEvery {
+			if err := em.writeCheckpointLocked(); err != nil {
+				em.err = err
+				em.cond.Broadcast()
+				return false
+			}
+		}
+		if em.progress != nil {
+			em.progress(em.frontierIdx, em.total)
+		}
+	}
+	em.cond.Broadcast()
+	return !em.cutoff
+}
+
+// aggregate folds one emitted entry into the running summary, weighted
+// by orbit size in orbit mode. Callers hold em.mu.
+func (em *emitter) aggregate(e *Entry) {
+	w := uint64(1)
+	if em.orbits {
+		w = e.OrbitSize
+		em.sum.Orbits++
+	}
+	em.sum.Total += w
+	if e.SupersetClosed {
+		em.sum.SupersetClosed += w
+	}
+	if e.Symmetric {
+		em.sum.Symmetric += w
+	}
+	if e.Fair {
+		em.sum.Fair += w
+		em.sum.SetconHist[e.Setcon] += w
+	}
+	if (e.SupersetClosed || e.Symmetric) && !e.Fair {
+		em.sum.InclusionViolations += w
+	}
+	if e.Solved {
+		em.sum.Solved += w
+		if e.Solvable != nil && *e.Solvable {
+			em.sum.Solvable += w
+		}
+		if e.Undecided {
+			em.sum.Undecided += w
+		}
+	}
+}
+
+// writeCheckpoint flushes the sink and persists the frontier (entry
+// point for the final checkpoint, after the workers are gone).
+func (em *emitter) writeCheckpoint() error {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return em.writeCheckpointLocked()
+}
+
+func (em *emitter) writeCheckpointLocked() error {
+	if f, ok := em.sink.(Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	var outBytes int64
+	if o, ok := em.sink.(OffsetSink); ok {
+		outBytes = o.Offset()
+	}
+	ck := &Checkpoint{
+		Version:     checkpointVersion,
+		Fingerprint: em.fingerprint,
+		NextIndex:   em.frontierIdx,
+		Emitted:     em.emitted,
+		OutBytes:    outBytes,
+		SinkKind:    em.sinkKind,
+		Summary:     *em.sum,
+	}
+	ck.Summary.SetconHist = append([]uint64(nil), em.sum.SetconHist...)
+	if err := ck.write(em.checkpointPath); err != nil {
+		return err
+	}
+	em.lastCheckpoint = em.frontierIdx
+	return nil
+}
+
 // runEnv is the state shared by all workers of one census run.
 type runEnv struct {
 	n         int
 	all       []procs.Set
 	universe  *chromatic.Universe
 	cache     *chromatic.TowerCache
+	orbits    *adversary.Orbits
 	solve     bool
 	kTask     int
 	maxRounds int

@@ -1,0 +1,146 @@
+package census
+
+// Sinks consume the census entry stream. The engine guarantees strict
+// enumeration order and single-goroutine delivery: Emit is never called
+// concurrently, and entry i is emitted before entry j whenever i < j —
+// which is what makes a byte stream (JSON lines) reproducible across
+// worker counts, and what checkpoints count against.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Sink consumes census entries in strict enumeration order. Emit owns
+// the entry only for the duration of the call; implementations that
+// retain it must copy.
+type Sink interface {
+	Emit(e *Entry) error
+}
+
+// Flusher is implemented by sinks with buffered output. The engine
+// flushes before writing a checkpoint, so the sidecar never records
+// bytes that are not durably in the stream.
+type Flusher interface {
+	Flush() error
+}
+
+// OffsetSink reports the byte offset of the stream after the last
+// emitted entry — what a checkpoint records so a resumed run can
+// truncate a partially written tail.
+type OffsetSink interface {
+	Offset() int64
+}
+
+// ResumableSink is a sink with persistent output that can be positioned
+// at a checkpoint: `entries` entries / `bytes` bytes already emitted by
+// the interrupted run. Fresh runs position at (0, 0), which must reset
+// the output. The engine calls ResumeAt exactly once, before any Emit.
+type ResumableSink interface {
+	Sink
+	ResumeAt(entries uint64, bytes int64) error
+}
+
+// Collector is the in-memory sink: it materializes every entry, which
+// is what Run uses to build the full Report for MaxDomain-sized
+// domains.
+type Collector struct {
+	Entries []Entry
+}
+
+// Emit appends a copy of the entry.
+func (c *Collector) Emit(e *Entry) error {
+	c.Entries = append(c.Entries, *e)
+	return nil
+}
+
+// Discard drops every entry: the aggregating-summarizer mode, where the
+// running Summary the engine maintains is the only output. Memory is
+// O(1) in the domain.
+type Discard struct{}
+
+// Emit drops the entry.
+func (Discard) Emit(*Entry) error { return nil }
+
+// JSONLSink streams entries as JSON lines (one Entry object per line)
+// to a file, tracking byte offsets for checkpointing. The final file of
+// a run — interrupted and resumed any number of times, at any worker
+// count — is byte-identical to that of an uninterrupted serial run.
+type JSONLSink struct {
+	f       *os.File
+	w       *bufio.Writer
+	base    int64 // offset established by ResumeAt
+	written int64 // bytes emitted since
+}
+
+// NewJSONLSink opens (creating if needed) the JSONL stream at path.
+// The file is positioned by the engine: truncated to zero on a fresh
+// run, to the checkpoint offset on a resumed one. Close when done.
+func NewJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("census: open sink: %w", err)
+	}
+	return &JSONLSink{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Emit writes one JSON line.
+func (s *JSONLSink) Emit(e *Entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	n, err := s.w.Write(b)
+	s.written += int64(n)
+	return err
+}
+
+// ResumeAt positions the file at a checkpoint: everything beyond the
+// recorded offset (a tail written after the last checkpoint of an
+// interrupted run) is truncated away. An output file shorter than the
+// checkpoint claims is corruption and is reported instead of silently
+// producing a stream with holes.
+func (s *JSONLSink) ResumeAt(entries uint64, bytes int64) error {
+	st, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() < bytes {
+		return fmt.Errorf("census: output %s is %d bytes, checkpoint expects >= %d (entries %d): output/checkpoint mismatch",
+			s.f.Name(), st.Size(), bytes, entries)
+	}
+	if err := s.f.Truncate(bytes); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(bytes, io.SeekStart); err != nil {
+		return err
+	}
+	s.w.Reset(s.f)
+	s.base, s.written = bytes, 0
+	return nil
+}
+
+// Offset returns the stream offset after the last emitted entry.
+// Meaningful for checkpointing only after Flush.
+func (s *JSONLSink) Offset() int64 { return s.base + s.written }
+
+// Flush drains the buffer and syncs the file, making Offset durable.
+func (s *JSONLSink) Flush() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (s *JSONLSink) Close() error {
+	if err := s.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

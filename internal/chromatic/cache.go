@@ -1,12 +1,25 @@
 package chromatic
 
-// TowerCache memoizes iterated subdivisions R_A^ℓ(I) across solvability
+// TowerCache memoizes iterated subdivisions R_A^l(I) across solvability
 // queries: an entry is keyed by the membership predicate's signature and
 // the input complex's hash, and holds one Tower that is extended lazily
 // and monotonically. Repeated SolveAffine calls, the core experiments
 // and the factool subcommands therefore build each level exactly once.
+//
+// Memory can be bounded for long-running enumeration campaigns: with a
+// byte budget set (SetMaxBytes / NewTowerCacheWithBudget), entries are
+// tracked in least-recently-acquired order with an approximate resident
+// size, and unpinned entries are evicted from the cold end whenever the
+// budget is exceeded — the cache runs flat instead of accreting one
+// tower per distinct R_A signature over a whole census. Entries are
+// pinned while acquired: Acquire pins, CachedTower.Release unpins, and
+// only unpinned entries are evicted, so a tower never disappears under
+// a running solve. An evicted tower still held by a caller remains
+// fully usable (it is simply no longer shared); its next Acquire is a
+// miss that rebuilds.
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -16,20 +29,52 @@ import (
 // TowerCache is a concurrency-safe cache of iterated subdivisions.
 // The zero value is not usable; create instances with NewTowerCache.
 type TowerCache struct {
-	mu      sync.Mutex
-	entries map[string]*CachedTower
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recently acquired
+	maxBytes int64
+	bytes    int64
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheEntry is the LRU bookkeeping of one cached tower.
+type cacheEntry struct {
+	key     string
+	ct      *CachedTower
+	elem    *list.Element
+	bytes   int64
+	pins    int
+	evicted bool
 }
 
 // DefaultTowerCache is the process-wide cache used by solver.SolveAffine
 // and the Model convenience APIs.
 var DefaultTowerCache = NewTowerCache()
 
-// NewTowerCache creates an empty cache.
+// NewTowerCache creates an empty cache with no byte budget.
 func NewTowerCache() *TowerCache {
-	return &TowerCache{entries: make(map[string]*CachedTower)}
+	return &TowerCache{entries: make(map[string]*cacheEntry), lru: list.New()}
+}
+
+// NewTowerCacheWithBudget creates an empty cache that evicts
+// least-recently-acquired unpinned towers once the approximate resident
+// size exceeds maxBytes. maxBytes <= 0 means unbounded.
+func NewTowerCacheWithBudget(maxBytes int64) *TowerCache {
+	c := NewTowerCache()
+	c.maxBytes = maxBytes
+	return c
+}
+
+// SetMaxBytes installs (or clears, with n <= 0) the byte budget and
+// immediately evicts down to it.
+func (c *TowerCache) SetMaxBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	c.evictLocked()
 }
 
 // CachedTower is a shared, lazily extended tower. Extension is
@@ -38,6 +83,9 @@ func NewTowerCache() *TowerCache {
 type CachedTower struct {
 	mu    sync.Mutex
 	tower *Tower
+
+	cache *TowerCache
+	entry *cacheEntry
 }
 
 // Acquire returns the cached tower for (sig, input), creating it on a
@@ -45,20 +93,87 @@ type CachedTower struct {
 // affine.Task.Signature for affine tasks); the input complex is hashed.
 // workers configures extensions of a freshly created tower; a cache hit
 // keeps the existing tower's worker count.
+//
+// The entry is pinned until Release: on caches with a byte budget,
+// callers should Release the tower when done so it becomes evictable
+// (unbounded caches never evict, so legacy callers that never Release
+// only forgo eviction, nothing else).
 func (c *TowerCache) Acquire(sig string, input *sc.Complex, workers int) *CachedTower {
 	key := sig + "\x00" + input.Hash()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if ct, ok := c.entries[key]; ok {
+	if e, ok := c.entries[key]; ok {
 		c.hits.Add(1)
-		return ct
+		e.pins++
+		c.lru.MoveToFront(e.elem)
+		return e.ct
 	}
 	c.misses.Add(1)
 	tower := NewTower(input)
 	tower.SetWorkers(workers)
-	ct := &CachedTower{tower: tower}
-	c.entries[key] = ct
-	return ct
+	e := &cacheEntry{key: key, bytes: tower.ApproxBytes(), pins: 1}
+	e.ct = &CachedTower{tower: tower, cache: c, entry: e}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.bytes += e.bytes
+	c.evictLocked()
+	return e.ct
+}
+
+// Release unpins one Acquire of this tower, making the entry evictable
+// once every holder has released it. Releasing more times than acquired
+// is a no-op; releasing a tower whose entry was already evicted (or one
+// not owned by a cache) is too.
+func (ct *CachedTower) Release() {
+	c := ct.cache
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := ct.entry
+	if e.evicted || e.pins == 0 {
+		return
+	}
+	e.pins--
+	c.evictLocked()
+}
+
+// resize refreshes the recorded size of a grown tower and enforces the
+// budget. Called after EnsureHeight extensions.
+func (c *TowerCache) resize(ct *CachedTower) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := ct.entry
+	if e.evicted {
+		return
+	}
+	nb := ct.tower.ApproxBytes()
+	c.bytes += nb - e.bytes
+	e.bytes = nb
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-acquired unpinned entries until the
+// cache fits its budget. Pinned entries are skipped, so a cache whose
+// live working set exceeds the budget temporarily runs over it (a soft
+// bound) rather than corrupting in-flight solves.
+func (c *TowerCache) evictLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for elem := c.lru.Back(); elem != nil && c.bytes > c.maxBytes; {
+		e := elem.Value.(*cacheEntry)
+		prev := elem.Prev()
+		if e.pins == 0 {
+			c.lru.Remove(elem)
+			delete(c.entries, e.key)
+			c.bytes -= e.bytes
+			e.evicted = true
+			c.evictions.Add(1)
+		}
+		elem = prev
+	}
 }
 
 // Stats reports cache hits and misses (Acquire calls that found,
@@ -69,36 +184,45 @@ func (c *TowerCache) Stats() (hits, misses int64) {
 
 // CacheStats is a point-in-time snapshot of a TowerCache: the hit/miss
 // counters plus size accounting — the number of cached towers, their
-// total built levels, and the total vertices across those levels. The
-// size figures are the groundwork for LRU bounding (ROADMAP): they are
-// what an eviction policy will weigh.
+// total built levels, the total vertices across those levels, the
+// approximate resident bytes, and the eviction counters when a byte
+// budget is set. With a budget, eviction timing depends on goroutine
+// scheduling, so Hits/Misses/Evictions/Bytes are not
+// worker-count-deterministic — keep budgeted cache stats out of
+// byte-compared outputs.
 type CacheStats struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Towers   int   `json:"towers"`
-	Levels   int   `json:"levels"`
-	Vertices int   `json:"vertices"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Towers    int   `json:"towers"`
+	Levels    int   `json:"levels"`
+	Vertices  int   `json:"vertices"`
+	Bytes     int64 `json:"bytes,omitempty"`
+	MaxBytes  int64 `json:"max_bytes,omitempty"`
+	Evictions int64 `json:"evictions,omitempty"`
 }
 
 // Snapshot collects the cache statistics. Towers mid-extension are
 // counted at the height already built.
 func (c *TowerCache) Snapshot() CacheStats {
 	c.mu.Lock()
-	entries := make([]*CachedTower, 0, len(c.entries))
-	for _, ct := range c.entries {
-		entries = append(entries, ct)
+	entries := make([]*cacheEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Towers:    len(entries),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Evictions: c.evictions.Load(),
 	}
 	c.mu.Unlock()
-	st := CacheStats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Towers: len(entries),
-	}
-	for _, ct := range entries {
-		h := ct.tower.Height()
+	for _, e := range entries {
+		h := e.ct.tower.Height()
 		st.Levels += h
 		for level := 1; level <= h; level++ {
-			st.Vertices += ct.tower.LevelComplex(level).NumVertices()
+			st.Vertices += e.ct.tower.LevelComplex(level).NumVertices()
 		}
 	}
 	return st
@@ -122,10 +246,15 @@ func (ct *CachedTower) Tower() *Tower { return ct.tower }
 func (ct *CachedTower) EnsureHeight(member Membership, height int) error {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
+	grew := false
 	for ct.tower.Height() < height {
 		if err := ct.tower.Extend(member); err != nil {
 			return err
 		}
+		grew = true
+	}
+	if grew && ct.cache != nil {
+		ct.cache.resize(ct)
 	}
 	return nil
 }

@@ -93,6 +93,30 @@ func NewUniverse(n int) *Universe {
 	return &Universe{n: n, ids: make(map[string]sc.VertexID)}
 }
 
+// sharedUniverses holds the process-wide per-n universes handed out by
+// SharedUniverse.
+var (
+	sharedUniversesMu sync.Mutex
+	sharedUniverses   = make(map[int]*Universe)
+)
+
+// SharedUniverse returns the process-wide universe for n-process
+// systems, creating it on first use. Models built through the
+// convenience APIs share it so repeated builds for the same n intern
+// each Chr² vertex once instead of once per model; callers that need an
+// isolated identity space (or fully reproducible vertex IDs regardless
+// of what was built before) should use NewUniverse instead.
+func SharedUniverse(n int) *Universe {
+	sharedUniversesMu.Lock()
+	defer sharedUniversesMu.Unlock()
+	u, ok := sharedUniverses[n]
+	if !ok {
+		u = NewUniverse(n)
+		sharedUniverses[n] = u
+	}
+	return u
+}
+
 // N returns the number of processes.
 func (u *Universe) N() int { return u.n }
 

@@ -403,6 +403,37 @@ func (t *Tower) Extend(member Membership) error {
 	return nil
 }
 
+// ApproxBytes estimates the resident size of the tower: the input
+// complex plus every built level. The estimate is deliberately cheap
+// (derived from vertex/simplex counts, not by walking the maps) — it is
+// the weight the TowerCache byte budget uses for LRU eviction, where
+// relative size between towers matters more than absolute accuracy.
+func (t *Tower) ApproxBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := complexApproxBytes(t.Input)
+	for _, it := range t.Levels {
+		b += it.ApproxBytes()
+	}
+	return b
+}
+
+// ApproxBytes estimates the resident size of one built level: its
+// complex plus the carrier, content and intern tables keyed per vertex.
+func (it *Iterated) ApproxBytes() int64 {
+	nv := int64(it.Complex.NumVertices())
+	n := int64(it.Complex.Colors())
+	// Per vertex: intern key + label, carrier slice, and a content map
+	// of up to n inner simplices.
+	return complexApproxBytes(it.Complex) + nv*(160+96*n)
+}
+
+// complexApproxBytes estimates a complex's resident size from its
+// vertex and simplex counts.
+func complexApproxBytes(c *sc.Complex) int64 {
+	return int64(c.NumVertices())*96 + int64(c.NumSimplices())*112
+}
+
 // Height returns the number of affine-task applications.
 func (t *Tower) Height() int {
 	t.mu.Lock()

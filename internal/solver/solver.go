@@ -114,6 +114,9 @@ func SolveWith(task *tasks.Task, member chromatic.Membership, maxRounds int, opt
 	)
 	if opts.Cache != nil && opts.CacheKey != "" {
 		cached = opts.Cache.Acquire(opts.CacheKey, task.Input, workers)
+		// Unpin when the decision completes so byte-budgeted caches may
+		// evict the tower; it stays shared (and hot) until then.
+		defer cached.Release()
 		tower = cached.Tower()
 	} else {
 		tower = chromatic.NewTower(task.Input)
@@ -397,6 +400,7 @@ func VerifyWitnessWith(task *tasks.Task, member chromatic.Membership, rounds int
 	var tower *chromatic.Tower
 	if opts.Cache != nil && opts.CacheKey != "" {
 		cached := opts.Cache.Acquire(opts.CacheKey, task.Input, workers)
+		defer cached.Release()
 		if err := cached.EnsureHeight(member, rounds); err != nil {
 			return err
 		}

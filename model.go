@@ -28,8 +28,13 @@ type Model struct {
 // whose α(Π) = 0 (the affine task would be empty) — and callers should
 // check fairness with Adversary().IsFair() when the FACT guarantees are
 // required.
+//
+// All models of the same system size built through NewModel share one
+// process-wide chromatic.Universe, so each Chr² vertex is interned once
+// per process rather than once per model. Use NewModelWithUniverse with
+// a fresh universe for an isolated vertex identity space.
 func NewModel(a *adversary.Adversary) (*Model, error) {
-	return NewModelWithUniverse(chromatic.NewUniverse(a.N()), a)
+	return NewModelWithUniverse(chromatic.SharedUniverse(a.N()), a)
 }
 
 // NewModelWithUniverse is NewModel over a caller-provided Chr² vertex
