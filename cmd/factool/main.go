@@ -5,20 +5,31 @@
 //	factool affine -n 3 -kind kof -k 1       # build R_A, print stats
 //	factool classify -n 3                    # Figure 2 census
 //	factool census -n 3 -workers 8 -json     # parallel census, JSON report
+//	factool merge -n 3 -store DIR a.jsonl    # merge shards into a store
+//	factool serve -store DIR -addr :8080     # HTTP query layer over a store
 //	factool figures -dir out/                # regenerate all figure SVGs
 //	factool solve -n 3 -kind tres -t 1 -k 2  # FACT solvability decision
 //	factool simulate -n 3 -kind kof -k 1     # Algorithm 1 + §6 campaigns
+//
+// Exit codes: 0 on success (including -h/help), 2 on bad usage (unknown
+// subcommand, bad flags, invalid flag values — with the offending
+// subcommand's usage on stderr), 1 on runtime failure.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	fact "repro"
 	"repro/internal/procs"
@@ -26,16 +37,38 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "factool:", err)
-		os.Exit(1)
+	os.Exit(mainRun(os.Args[1:]))
+}
+
+// mainRun maps run's outcome to the process exit code, printing usage
+// for the specific failing subcommand on bad flags.
+func mainRun(args []string) int {
+	err := run(args)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		// -h on a subcommand: the FlagSet already printed its usage.
+		return 0
+	case errors.Is(err, errBadFlags):
+		// Parse failure: the FlagSet already printed the error and the
+		// subcommand's usage.
+		return 2
 	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		fmt.Fprintln(os.Stderr, "factool:", ue.err)
+		ue.fs.Usage()
+		return 2
+	}
+	fmt.Fprintln(os.Stderr, "factool:", err)
+	return 1
 }
 
 func run(args []string) error {
 	if len(args) == 0 {
 		usage()
-		return fmt.Errorf("missing subcommand")
+		return fmt.Errorf("missing subcommand: %w", errBadFlags)
 	}
 	switch args[0] {
 	case "chr":
@@ -48,6 +81,10 @@ func run(args []string) error {
 		return cmdClassify(args[1:])
 	case "census":
 		return cmdCensus(args[1:])
+	case "merge":
+		return cmdMerge(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "figures":
 		return cmdFigures(args[1:])
 	case "solve":
@@ -59,7 +96,7 @@ func run(args []string) error {
 		return nil
 	default:
 		usage()
-		return fmt.Errorf("unknown subcommand %q", args[0])
+		return fmt.Errorf("unknown subcommand %q: %w", args[0], errBadFlags)
 	}
 }
 
@@ -72,12 +109,15 @@ subcommands:
   affine     -n N -kind K [flags]           affine task R_A stats
   classify   -n N                           adversary census (Figure 2)
   census     -n N [-workers W] [-json] [-solve -ktask K -rounds L -verify]
-             [-stats] [-progress] [-orbits] [-out F.jsonl]
+             [-stats] [-progress] [-orbits] [-out F.jsonl] [-compress]
              [-checkpoint F -resume] [-checkpoint-every I]
              [-maxindices I] [-budget D] [-cachemb M]
                                             parallel adversary census
                                             (streaming, checkpointable,
                                             orbit symmetry reduction)
+  merge      -n N -store DIR SHARD...       merge census JSONL shards
+                                            into an indexed store
+  serve      -store DIR [-addr A] [flags]   HTTP query layer over a store
   figures    -dir DIR                       regenerate figure SVGs
   solve      -n N -kind K [flags] -k K' [-workers W] [-stats]
                                             k-set consensus solvability
@@ -85,6 +125,68 @@ subcommands:
 
 adversary kinds (-kind): waitfree | tres (-t) | kof (-k) | fig5b
 `)
+}
+
+// synopses are the one-line usage forms printed by each subcommand's
+// FlagSet on bad flags — the specific subcommand's usage, not the
+// global one.
+var synopses = map[string]string{
+	"chr":       "-n N",
+	"adversary": "-n N -kind waitfree|tres|kof|fig5b [-t T] [-k K]",
+	"affine":    "-n N -kind waitfree|tres|kof|fig5b [-t T] [-k K]",
+	"classify":  "-n N",
+	"census": "-n N [-workers W] [-json] [-solve -ktask K -rounds L -verify] [-stats]\n" +
+		"                      [-progress] [-orbits] [-out F.jsonl] [-compress]\n" +
+		"                      [-checkpoint F -resume] [-checkpoint-every I]\n" +
+		"                      [-maxindices I] [-budget D] [-cachemb M]",
+	"merge":    "-n N -store DIR [-block-entries B] [-summary] SHARD.jsonl[.gz]...",
+	"serve":    "-store DIR [-addr HOST:PORT] [-cache-entries E] [-cachemb M] [-rounds L] [-readonly]",
+	"figures":  "-dir DIR",
+	"solve":    "-n N -kind K [-t T] [-k K] -ktask K' [-rounds L] [-workers W] [-stats]",
+	"simulate": "-n N -kind K [-t T] [-k K] [-trials T] [-seed S]",
+}
+
+// errBadFlags marks a flag-parse failure the FlagSet already reported
+// (message + subcommand usage on stderr): exit 2, nothing reprinted.
+var errBadFlags = errors.New("bad flags")
+
+// usageError is a post-parse validation failure that should show the
+// failing subcommand's usage: exit 2.
+type usageError struct {
+	fs  *flag.FlagSet
+	err error
+}
+
+func (e *usageError) Error() string { return e.err.Error() }
+
+// usagef wraps a validation failure with the subcommand's FlagSet so
+// mainRun prints its usage.
+func usagef(fs *flag.FlagSet, format string, args ...any) error {
+	return &usageError{fs: fs, err: fmt.Errorf(format, args...)}
+}
+
+// newFlagSet builds a subcommand FlagSet whose usage output names the
+// subcommand and its synopsis.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: factool %s %s\n", name, synopses[name])
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+// parseFlags parses args, normalizing errors: help requests pass
+// through, parse failures (already reported by the FlagSet, with the
+// subcommand usage) become errBadFlags.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return fmt.Errorf("%v: %w", err, errBadFlags)
+	}
+	return nil
 }
 
 // adversaryFlags adds the shared adversary-selection flags.
@@ -115,9 +217,9 @@ func buildAdversary(n int, kind string, t, k int) (*fact.Adversary, error) {
 }
 
 func cmdChr(args []string) error {
-	fs := flag.NewFlagSet("chr", flag.ContinueOnError)
+	fs := newFlagSet("chr")
 	n := fs.Int("n", 3, "number of processes")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	fmt.Printf("Chr s for n=%d\n", *n)
@@ -129,9 +231,9 @@ func cmdChr(args []string) error {
 }
 
 func cmdAdversary(args []string) error {
-	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
+	fs := newFlagSet("adversary")
 	n, kind, t, k := adversaryFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	a, err := buildAdversary(*n, *kind, *t, *k)
@@ -158,9 +260,9 @@ func cmdAdversary(args []string) error {
 }
 
 func cmdAffine(args []string) error {
-	fs := flag.NewFlagSet("affine", flag.ContinueOnError)
+	fs := newFlagSet("affine")
 	n, kind, t, k := adversaryFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	a, err := buildAdversary(*n, *kind, *t, *k)
@@ -177,9 +279,9 @@ func cmdAffine(args []string) error {
 }
 
 func cmdClassify(args []string) error {
-	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	fs := newFlagSet("classify")
 	n := fs.Int("n", 3, "number of processes")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	// The Figure 2 numbers, computed by the parallel census engine.
@@ -192,7 +294,7 @@ func cmdClassify(args []string) error {
 }
 
 func cmdCensus(args []string) error {
-	fs := flag.NewFlagSet("census", flag.ContinueOnError)
+	fs := newFlagSet("census")
 	n := fs.Int("n", 3, "number of processes")
 	workers := fs.Int("workers", 0, "census workers (0 = all CPUs, 1 = serial)")
 	jsonOut := fs.Bool("json", false, "emit the full deterministic report as JSON on stdout")
@@ -204,17 +306,21 @@ func cmdCensus(args []string) error {
 	progress := fs.Bool("progress", false, "report shard progress to stderr")
 	orbits := fs.Bool("orbits", false, "sweep one representative per color-permutation orbit (same totals, up to n! fewer adversaries)")
 	out := fs.String("out", "", "stream entries as JSON lines to this file (bounded memory; no domain cap)")
+	compress := fs.Bool("compress", false, "gzip the -out stream (automatic for .gz paths; resume-safe)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint sidecar path (periodic atomic frontier records)")
 	checkpointEvery := fs.Uint64("checkpoint-every", 0, "enumeration indices between checkpoints (0 = default)")
 	resume := fs.Bool("resume", false, "resume from -checkpoint when it exists (missing sidecar starts fresh)")
 	maxIndices := fs.Uint64("maxindices", 0, "stop cleanly after about this many newly swept indices (0 = no cap)")
 	budget := fs.Duration("budget", 0, "wall-clock budget; the sweep winds down cleanly when it elapses (0 = none)")
 	cacheMB := fs.Int64("cachemb", 0, "tower-cache byte budget in MiB for -solve (0 = unbounded)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *n < 1 || *n > 6 {
-		return fmt.Errorf("census: -n must be in [1,6], got %d", *n)
+		return usagef(fs, "census: -n must be in [1,6], got %d", *n)
+	}
+	if *compress && *out == "" {
+		return usagef(fs, "census: -compress requires -out")
 	}
 	opts := fact.CensusOptions{
 		Workers:         *workers,
@@ -266,7 +372,13 @@ func cmdCensus(args []string) error {
 
 		var sink fact.CensusSink
 		if *out != "" {
-			js, err := fact.NewCensusJSONLSink(*out)
+			var js *fact.CensusJSONLSink
+			var err error
+			if *compress {
+				js, err = fact.NewCensusJSONLSinkCompressed(*out)
+			} else {
+				js, err = fact.NewCensusJSONLSink(*out)
+			}
 			if err != nil {
 				return err
 			}
@@ -305,6 +417,117 @@ func cmdCensus(args []string) error {
 	return nil
 }
 
+// cmdMerge folds census JSONL shards (plain or gzip) into an indexed,
+// compressed on-disk store — the merge tool for per-night campaign
+// shards the ROADMAP asks for.
+func cmdMerge(args []string) error {
+	fs := newFlagSet("merge")
+	n := fs.Int("n", 0, "number of processes of the census (required; must match an existing store)")
+	storeDir := fs.String("store", "", "store directory (created when missing)")
+	blockEntries := fs.Int("block-entries", 0, "entries per compressed block (0 = default)")
+	summary := fs.Bool("summary", false, "print the merged store's census summary to stdout")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	shards := fs.Args()
+	if *storeDir == "" {
+		return usagef(fs, "merge: -store is required")
+	}
+	if *n < 1 || *n > 6 {
+		return usagef(fs, "merge: -n must be in [1,6], got %d", *n)
+	}
+	if len(shards) == 0 {
+		return usagef(fs, "merge: at least one shard file is required")
+	}
+	st, err := fact.OpenOrCreateCensusStore(*storeDir, *n)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	stats, err := st.Merge(shards, fact.CensusMergeOptions{BlockEntries: *blockEntries})
+	if err != nil {
+		return err
+	}
+	ss := st.Stats()
+	fmt.Fprintf(os.Stderr, "merge: +%d entries (%d duplicates folded) from %d shard(s)\n",
+		stats.Added, stats.Duplicates, len(shards))
+	fmt.Fprintf(os.Stderr, "store %s: n=%d, %d entries, %d blocks, %d compressed bytes (gen %d)\n",
+		*storeDir, ss.N, ss.Entries, ss.Blocks, ss.Bytes, ss.Generation)
+	if *summary {
+		sum, err := st.Summary()
+		if err != nil {
+			return err
+		}
+		printCensusSummary(&fact.CensusReport{Summary: sum})
+	}
+	return nil
+}
+
+// cmdServe answers census queries over HTTP from a store, falling back
+// to live computation (and persisting the answer) on a miss.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	storeDir := fs.String("store", "", "census store directory (required; see factool merge)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	cacheEntries := fs.Int("cache-entries", 4096, "in-memory entry LRU capacity")
+	cacheMB := fs.Int64("cachemb", 0, "tower-cache byte budget in MiB for live solves (0 = unbounded)")
+	rounds := fs.Int("rounds", 1, "default maximum iterations of R_A for /v1/solve")
+	readonly := fs.Bool("readonly", false, "do not persist live-computed answers to the store")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return usagef(fs, "serve: -store is required")
+	}
+	st, err := fact.OpenCensusStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	srv, err := fact.NewCensusServer(st, fact.CensusServeOptions{
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheMB << 20,
+		MaxRounds:    *rounds,
+		ReadOnly:     *readonly,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ss := st.Stats()
+	fmt.Fprintf(os.Stderr, "factool serve: n=%d store %s (%d entries, %d blocks) listening on %s\n",
+		ss.N, *storeDir, ss.Entries, ss.Blocks, ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	done := make(chan error, 1)
+	go func() {
+		if _, ok := <-sigc; ok {
+			// Hand SIGINT back to the default handler first, so a second
+			// Ctrl-C during the drain force-quits instead of panicking on
+			// a closed channel.
+			signal.Stop(sigc)
+			fmt.Fprintln(os.Stderr, "factool serve: interrupt — draining connections")
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			done <- httpSrv.Shutdown(ctx)
+			return
+		}
+		done <- nil
+	}()
+	err = httpSrv.Serve(ln)
+	signal.Stop(sigc) // no-op when the goroutine already stopped it
+	close(sigc)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}
+
 // printCensusSummary renders the deterministic human-readable summary
 // (identical for every worker count — timing and cache internals go to
 // stderr, never here).
@@ -341,9 +564,9 @@ func printCacheStats(st fact.CacheStats) {
 }
 
 func cmdFigures(args []string) error {
-	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs := newFlagSet("figures")
 	dir := fs.String("dir", "figures", "output directory")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -398,13 +621,13 @@ func modelFigure(a *fact.Adversary, kind string) func() (string, error) {
 }
 
 func cmdSolve(args []string) error {
-	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	fs := newFlagSet("solve")
 	n, kind, t, k := adversaryFlags(fs)
 	kTask := fs.Int("ktask", 1, "k for k-set consensus")
 	rounds := fs.Int("rounds", 1, "maximum iterations of R_A")
 	workers := fs.Int("workers", 0, "engine workers (0 = all CPUs, 1 = serial)")
 	stats := fs.Bool("stats", false, "print tower-cache statistics to stderr")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	a, err := buildAdversary(*n, *kind, *t, *k)
@@ -435,11 +658,11 @@ func cmdSolve(args []string) error {
 }
 
 func cmdSimulate(args []string) error {
-	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs := newFlagSet("simulate")
 	n, kind, t, k := adversaryFlags(fs)
 	trials := fs.Int("trials", 100, "number of random schedules")
 	seed := fs.Int64("seed", 1, "PRNG seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	a, err := buildAdversary(*n, *kind, *t, *k)

@@ -213,3 +213,117 @@ func TestCensusResumeWithoutCheckpointStartsFresh(t *testing.T) {
 		t.Errorf("fresh -resume run differs from plain census:\n%q\n%q", fresh, plain)
 	}
 }
+
+// captureStderr runs f with os.Stderr redirected and returns what it
+// wrote.
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	outc := make(chan string)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		outc <- b.String()
+	}()
+	f()
+	w.Close()
+	return <-outc
+}
+
+// TestExitCodes pins the CLI contract: 0 for success and help, 2 for
+// usage errors (bad flags, bad values, unknown subcommand), 1 for
+// runtime failures.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{nil, 2},                                                   // missing subcommand
+		{[]string{"bogus"}, 2},                                     // unknown subcommand
+		{[]string{"census", "-bogus"}, 2},                          // undefined flag
+		{[]string{"census", "-n", "9"}, 2},                         // invalid flag value
+		{[]string{"census", "-compress"}, 2},                       // -compress without -out
+		{[]string{"merge"}, 2},                                     // missing -store
+		{[]string{"merge", "-n", "3", "-store", "x"}, 2},           // no shards
+		{[]string{"serve"}, 2},                                     // missing -store
+		{[]string{"serve", "-store", "/nonexistent-store-dir"}, 1}, // runtime failure
+		{[]string{"census", "-h"}, 0},                              // help exits clean
+		{[]string{"help"}, 0},
+		{[]string{"chr", "-n", "3"}, 0},
+	}
+	for _, c := range cases {
+		var got int
+		_ = captureStderr(t, func() { got = mainRun(c.args) })
+		if got != c.want {
+			t.Errorf("mainRun(%v) = %d, want %d", c.args, got, c.want)
+		}
+	}
+}
+
+// TestBadFlagsPrintSubcommandUsage: a subcommand's flag failure must
+// print that subcommand's usage, not the global listing.
+func TestBadFlagsPrintSubcommandUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{"census", "-bogus"},  // parse error
+		{"census", "-n", "9"}, // validation error
+		{"merge", "-n", "3"},  // missing -store
+	} {
+		stderr := captureStderr(t, func() { mainRun(args) })
+		if !strings.Contains(stderr, "usage: factool "+args[0]) {
+			t.Errorf("%v: stderr misses the %s usage line:\n%s", args, args[0], stderr)
+		}
+		if strings.Contains(stderr, "subcommands:") {
+			t.Errorf("%v: stderr shows the global usage instead of the subcommand's:\n%s", args, stderr)
+		}
+	}
+	// The global usage still appears for unknown subcommands.
+	stderr := captureStderr(t, func() { mainRun([]string{"bogus"}) })
+	if !strings.Contains(stderr, "subcommands:") {
+		t.Errorf("unknown subcommand should print the global usage:\n%s", stderr)
+	}
+}
+
+// TestMergeCLI drives census → merge → store round-trip at the CLI
+// surface, including a compressed shard and the -summary report.
+func TestMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "census.jsonl.gz")
+	storeDir := filepath.Join(dir, "store")
+	if err := run([]string{"census", "-n", "3", "-workers", "1", "-out", shard, "-compress"}); err != nil {
+		t.Fatal(err)
+	}
+	censusOut := captureStdout(t, func() error {
+		return run([]string{"census", "-n", "3"})
+	})
+	var mergeOut string
+	stderr := captureStderr(t, func() {
+		mergeOut = captureStdout(t, func() error {
+			return run([]string{"merge", "-n", "3", "-store", storeDir, "-summary", shard})
+		})
+	})
+	if !strings.Contains(stderr, "128 entries") {
+		t.Errorf("merge report misses the entry count:\n%s", stderr)
+	}
+	if mergeOut != censusOut {
+		t.Errorf("merge -summary differs from census output:\n%q\n%q", mergeOut, censusOut)
+	}
+	// Idempotent re-merge: all duplicates, nothing added.
+	stderr = captureStderr(t, func() {
+		if err := run([]string{"merge", "-n", "3", "-store", storeDir, shard}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(stderr, "+0 entries (128 duplicates folded)") {
+		t.Errorf("re-merge should fold everything as duplicates:\n%s", stderr)
+	}
+	// Wrong n against an existing store is a runtime error.
+	if err := run([]string{"merge", "-n", "4", "-store", storeDir, shard}); err == nil {
+		t.Error("merge with mismatched -n should fail")
+	}
+}

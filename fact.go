@@ -25,6 +25,7 @@ import (
 	"repro/internal/procs"
 	"repro/internal/sc"
 	"repro/internal/solver"
+	"repro/internal/store"
 	"repro/internal/tasks"
 )
 
@@ -76,6 +77,21 @@ type (
 	CensusJSONLSink = census.JSONLSink
 	// CensusCheckpoint is the resume state of a streaming census run.
 	CensusCheckpoint = census.Checkpoint
+	// CensusExaminer answers single-index census queries on the live
+	// computation path (the store query layer's fallback).
+	CensusExaminer = census.Examiner
+	// CensusStore is the compressed, indexed on-disk census store.
+	CensusStore = store.Store
+	// CensusStoreStats describes a store's physical shape.
+	CensusStoreStats = store.Stats
+	// CensusMergeOptions tune a shard merge into a store.
+	CensusMergeOptions = store.MergeOptions
+	// CensusMergeStats report what one merge did.
+	CensusMergeStats = store.MergeStats
+	// CensusServer is the HTTP query layer over a census store.
+	CensusServer = store.Server
+	// CensusServeOptions tune the query layer.
+	CensusServeOptions = store.ServerOptions
 	// AdversaryOrbits enumerates color-permutation orbits of the census
 	// domain (the -orbits symmetry reduction).
 	AdversaryOrbits = adversary.Orbits
@@ -117,10 +133,27 @@ var (
 	// enumeration order to a sink — checkpointable and resumable, with
 	// an orbit symmetry-reduction mode; no domain-size cap.
 	StreamCensus = census.Stream
-	// NewCensusJSONLSink opens a JSON-lines census stream.
+	// NewCensusJSONLSink opens a JSON-lines census stream (a ".gz"
+	// path selects gzip compression automatically).
 	NewCensusJSONLSink = census.NewJSONLSink
+	// NewCensusJSONLSinkCompressed opens a gzip JSON-lines census
+	// stream regardless of suffix (the -compress shard form).
+	NewCensusJSONLSinkCompressed = census.NewJSONLSinkCompressed
+	// NewCensusExaminer builds a live single-index census query engine.
+	NewCensusExaminer = census.NewExaminer
 	// LoadCensusCheckpoint reads a census checkpoint sidecar.
 	LoadCensusCheckpoint = census.LoadCheckpoint
+	// CreateCensusStore initializes an empty census store directory.
+	CreateCensusStore = store.Create
+	// OpenCensusStore opens an existing census store.
+	OpenCensusStore = store.Open
+	// OpenOrCreateCensusStore opens a store, creating it when missing.
+	OpenOrCreateCensusStore = store.OpenOrCreate
+	// RehydrateCensusEntry maps a stored orbit representative's entry
+	// onto another index of its orbit (Adversary.Permute).
+	RehydrateCensusEntry = store.Rehydrate
+	// NewCensusServer builds the HTTP query layer over an open store.
+	NewCensusServer = store.NewServer
 	// NewAdversaryOrbits precomputes the orbit tables for n processes.
 	NewAdversaryOrbits = adversary.NewOrbits
 	// AdversaryIndex is the inverse of AdversaryAt.

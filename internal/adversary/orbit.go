@@ -33,6 +33,11 @@ type Orbits struct {
 	domainBits int
 	nPerms     int
 
+	// perms[p] is the process permutation behind tables[p], in the
+	// canonical Permutations order (identity first) — what
+	// PermutationBetween hands to Adversary.Permute for rehydration.
+	perms [][]procs.ID
+
 	// tables[p][b][v] is the image contribution of byte b having value
 	// v under permutation p: OR-ing the looked-up words of every byte
 	// of an index yields its image index.
@@ -53,7 +58,7 @@ func NewOrbits(n int) *Orbits {
 	perms := permutations(n)
 	bits := len(domain)
 	nBytes := (bits + 7) / 8
-	o := &Orbits{n: n, domainBits: bits, nPerms: len(perms)}
+	o := &Orbits{n: n, domainBits: bits, nPerms: len(perms), perms: perms}
 	o.tables = make([][][256]uint64, len(perms))
 	for p, perm := range perms {
 		// posPerm[i]: where the live set at domain position i lands.
@@ -134,6 +139,20 @@ func (o *Orbits) Canonical(idx uint64) (canon uint64, size uint64) {
 func (o *Orbits) OrbitSize(idx uint64) uint64 {
 	_, size := o.Canonical(idx)
 	return size
+}
+
+// PermutationBetween returns a process permutation whose action takes
+// the adversary at enumeration index src to the one at dst, i.e.
+// AdversaryAt(src).Permute(perm) is the adversary at dst. ok is false
+// when the two indices are not in the same orbit. The returned slice is
+// shared — callers must not mutate it.
+func (o *Orbits) PermutationBetween(src, dst uint64) (perm []procs.ID, ok bool) {
+	for p := 0; p < o.nPerms; p++ {
+		if o.Image(src, p) == dst {
+			return o.perms[p], true
+		}
+	}
+	return nil, false
 }
 
 // ForEachRepresentative calls f for every canonical orbit

@@ -158,3 +158,29 @@ func TestPermuteIsomorphism(t *testing.T) {
 		t.Fatalf("permuted live sets wrong: %v", b)
 	}
 }
+
+// TestPermutationBetween checks the rehydration helper: for every pair
+// (idx, image) of a sampled orbit, the returned permutation maps the
+// source adversary onto the target, and cross-orbit pairs report !ok.
+func TestPermutationBetween(t *testing.T) {
+	o := NewOrbits(4)
+	total := CensusSize(4)
+	for idx := uint64(0); idx < total; idx += 97 {
+		canon, _ := o.Canonical(idx)
+		perm, ok := o.PermutationBetween(canon, idx)
+		if !ok {
+			t.Fatalf("no permutation from %d to its orbit member %d", canon, idx)
+		}
+		got := AdversaryAt(4, canon).Permute(perm)
+		if EnumerationIndex(got) != idx {
+			t.Fatalf("permuting %d landed on %d, want %d", canon, EnumerationIndex(got), idx)
+		}
+	}
+	// 1-OF (all singletons) and t-resilient live sets are in different
+	// orbits: no permutation relates them.
+	a := EnumerationIndex(KObstructionFree(4, 1))
+	b := EnumerationIndex(TResilient(4, 1))
+	if _, ok := o.PermutationBetween(a, b); ok {
+		t.Fatal("cross-orbit PermutationBetween should report !ok")
+	}
+}

@@ -431,13 +431,13 @@ func TestTaskBasics(t *testing.T) {
 	}
 	// Membership predicate: sub-ground runs must resolve via faces.
 	member := task.Membership()
-	if !member(sync) {
+	if !member(sync, sync.Key()) {
 		t.Errorf("membership of facet run")
 	}
 	soloP1 := chromatic.Run2{R1: seq(0), R2: seq(0)}
 	// (p1 alone in both rounds) is a face of sync/sync? p1's content
 	// there is {p1 -> {p1,p2,p3}}, not {p1 -> {p1}}: not a face.
-	if member(soloP1) {
+	if member(soloP1, soloP1.Key()) {
 		t.Errorf("solo run should not be a face of the sync facet")
 	}
 	// A task equals itself and differs from another.

@@ -137,8 +137,8 @@ func (t *Task) RestrictedFacets(p procs.Set) []chromatic.Run2 {
 	}
 	var runs []chromatic.Run2
 	member := t.Membership()
-	chromatic.ForEachRun2(p, func(r chromatic.Run2) bool {
-		if member(r) {
+	chromatic.ForEachRun2Keyed(p, func(r chromatic.Run2, k chromatic.RunKey) bool {
+		if member(r, k) {
 			runs = append(runs, r)
 		}
 		return true
@@ -159,15 +159,17 @@ func (t *Task) ContainsSimplex(ids []sc.VertexID) bool {
 // Membership returns the structural predicate used to apply this affine
 // task to arbitrary chromatic complexes (chromatic.Tower.Extend): a
 // 2-round run over a ground set of colors is accepted iff its simplex
-// belongs to the task. The returned predicate is safe for concurrent
-// use: the task complex is materialized eagerly here, so evaluations
-// only read it (and intern through the lock-protected Universe).
+// belongs to the task. The run key the enumerators precompute indexes
+// the facet map directly, so the full-ground hot path is a single map
+// read. The returned predicate is safe for concurrent use: the task
+// complex is materialized eagerly here, so evaluations only read it
+// (and intern through the lock-protected Universe).
 func (t *Task) Membership() chromatic.Membership {
 	t.Complex()
 	full := procs.FullSet(t.n)
-	return func(r chromatic.Run2) bool {
+	return func(r chromatic.Run2, key chromatic.RunKey) bool {
 		if r.Ground() == full {
-			return t.keys[r.Key()]
+			return t.keys[key]
 		}
 		return t.ContainsSimplex(r.FacetIDs(t.u))
 	}

@@ -36,11 +36,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
-	"repro/internal/affine"
 	"repro/internal/chromatic"
-	"repro/internal/procs"
-	"repro/internal/solver"
-	"repro/internal/tasks"
 )
 
 // MaxDomain bounds the enumeration spaces Run materializes: the
@@ -87,6 +83,12 @@ type Options struct {
 	// Nil selects a cache private to the run (byte-budgeted by
 	// CacheBytes when set).
 	Cache *chromatic.TowerCache
+
+	// Universe is the Chr² vertex identity space solve jobs build R_A
+	// over. Nil selects a run-private one; pass
+	// chromatic.SharedUniverse(n) to share vertices with other engines
+	// of the process (the store query layer does).
+	Universe *chromatic.Universe
 
 	// CacheBytes bounds the run-private tower cache (LRU eviction) so
 	// long campaigns run flat. Only used when Cache is nil; <= 0 means
@@ -257,7 +259,7 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 	start := uint64(0)
 	var emitted uint64
 	var outBytes int64
-	sum := Summary{N: n, SetconHist: make([]uint64, n+1)}
+	sum := NewSummary(n)
 	if opts.Resume {
 		switch ck, err := LoadCheckpoint(opts.Checkpoint); {
 		case err == nil:
@@ -292,37 +294,12 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 			shardSize = 1024
 		}
 	}
-	kTask := opts.KTask
-	if kTask <= 0 {
-		kTask = 1
-	}
-	maxRounds := opts.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = 1
-	}
-	cache := opts.Cache
-	if cache == nil {
-		if opts.CacheBytes > 0 {
-			cache = chromatic.NewTowerCacheWithBudget(opts.CacheBytes)
-		} else {
-			cache = chromatic.NewTowerCache()
-		}
-	}
 	checkpointEvery := opts.CheckpointEvery
 	if checkpointEvery == 0 {
 		checkpointEvery = 1 << 16
 	}
 
-	env := &runEnv{
-		n:         n,
-		all:       adversary.EnumerationDomain(n),
-		universe:  chromatic.NewUniverse(n),
-		cache:     cache,
-		solve:     opts.Solve,
-		kTask:     kTask,
-		maxRounds: maxRounds,
-		verify:    opts.VerifyWitnesses,
-	}
+	env := newRunEnv(n, &opts)
 	if opts.Orbits {
 		env.orbits = adversary.NewOrbits(n)
 	}
@@ -347,7 +324,6 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		emitted:         emitted,
 		parked:          make(map[uint64]parkedShard),
 		window:          uint64(workers) * 4,
-		orbits:          opts.Orbits,
 		checkpointPath:  opts.Checkpoint,
 		checkpointEvery: checkpointEvery,
 		lastCheckpoint:  start,
@@ -459,8 +435,8 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		rep.NextIndex = em.frontierIdx
 	}
 	if opts.Solve {
-		rep.Summary.KTask = kTask
-		st := cache.Snapshot()
+		rep.Summary.KTask = env.kTask
+		st := env.cache.Snapshot()
 		rep.Cache = &st
 	}
 	return rep, nil
@@ -472,11 +448,10 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 // successor — emitting entries, folding aggregates, checkpointing —
 // then wakes the workers throttled by the window.
 type emitter struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	sink   Sink
-	sum    *Summary
-	orbits bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	sink Sink
+	sum  *Summary
 
 	start, total, shardSize uint64
 
@@ -593,35 +568,51 @@ func (em *emitter) deliver(s uint64, entries []Entry, hi uint64, short bool) boo
 	return !em.cutoff
 }
 
-// aggregate folds one emitted entry into the running summary, weighted
-// by orbit size in orbit mode. Callers hold em.mu.
+// aggregate folds one emitted entry into the running summary. Callers
+// hold em.mu.
 func (em *emitter) aggregate(e *Entry) {
+	em.sum.Accumulate(e)
+}
+
+// NewSummary returns an empty summary over an n-process domain.
+func NewSummary(n int) Summary {
+	return Summary{N: n, SetconHist: make([]uint64, n+1)}
+}
+
+// Accumulate folds one entry into the summary. Entries carrying an
+// orbit size (canonical representatives of orbit-mode sweeps) weight
+// every counter by it and count toward Orbits; plain entries weigh 1 —
+// so a reduced sweep, a full sweep, and a store scan all aggregate to
+// the same totals through this one function.
+func (s *Summary) Accumulate(e *Entry) {
 	w := uint64(1)
-	if em.orbits {
+	if e.OrbitSize > 0 {
 		w = e.OrbitSize
-		em.sum.Orbits++
+		s.Orbits++
 	}
-	em.sum.Total += w
+	s.Total += w
 	if e.SupersetClosed {
-		em.sum.SupersetClosed += w
+		s.SupersetClosed += w
 	}
 	if e.Symmetric {
-		em.sum.Symmetric += w
+		s.Symmetric += w
 	}
 	if e.Fair {
-		em.sum.Fair += w
-		em.sum.SetconHist[e.Setcon] += w
+		s.Fair += w
+		if e.Setcon < len(s.SetconHist) {
+			s.SetconHist[e.Setcon] += w
+		}
 	}
 	if (e.SupersetClosed || e.Symmetric) && !e.Fair {
-		em.sum.InclusionViolations += w
+		s.InclusionViolations += w
 	}
 	if e.Solved {
-		em.sum.Solved += w
+		s.Solved += w
 		if e.Solvable != nil && *e.Solvable {
-			em.sum.Solvable += w
+			s.Solvable += w
 		}
 		if e.Undecided {
-			em.sum.Undecided += w
+			s.Undecided += w
 		}
 	}
 }
@@ -659,75 +650,4 @@ func (em *emitter) writeCheckpointLocked() error {
 	}
 	em.lastCheckpoint = em.frontierIdx
 	return nil
-}
-
-// runEnv is the state shared by all workers of one census run.
-type runEnv struct {
-	n         int
-	all       []procs.Set
-	universe  *chromatic.Universe
-	cache     *chromatic.TowerCache
-	orbits    *adversary.Orbits
-	solve     bool
-	kTask     int
-	maxRounds int
-	verify    bool
-}
-
-// examine classifies (and optionally solves) the adversary at one
-// enumeration index. Pure per index: no cross-shard state beyond the
-// concurrency-safe Universe and TowerCache.
-func (env *runEnv) examine(idx uint64) (Entry, error) {
-	a := adversary.AdversaryAtIn(env.n, env.all, idx)
-	live := a.LiveSets()
-	masks := make([]uint32, len(live))
-	for i, s := range live {
-		masks[i] = uint32(s)
-	}
-	e := Entry{
-		Index:          idx,
-		Adversary:      a.String(),
-		LiveSetMasks:   masks,
-		SupersetClosed: a.IsSupersetClosed(),
-		Symmetric:      a.IsSymmetric(),
-		Fair:           a.IsFair(),
-		Setcon:         a.Setcon(),
-		CSize:          a.CSize(),
-	}
-	if !env.solve || !e.Fair || e.Setcon < 1 {
-		return e, nil
-	}
-	// Solve jobs run serially inside each worker (Workers: 1): the
-	// census parallelism is across adversaries, not within one solve.
-	ra, err := affine.BuildRAForAdversary(env.universe, a, affine.DefaultVariant)
-	if err != nil {
-		return e, fmt.Errorf("census: R_A for %v: %w", a, err)
-	}
-	e.RAFacets = ra.NumFacets()
-	task := tasks.KSetConsensus(env.n, env.kTask)
-	res, err := solver.SolveAffineWith(task, ra, env.maxRounds, solver.Options{
-		Workers: 1,
-		Cache:   env.cache,
-	})
-	e.Solved = true
-	switch {
-	case errors.Is(err, solver.ErrSearchLimit):
-		e.Undecided = true
-		return e, nil
-	case err != nil:
-		return e, fmt.Errorf("census: solve %v: %w", a, err)
-	}
-	solvable := res.Solvable
-	e.Solvable = &solvable
-	if solvable {
-		e.Rounds = res.Rounds
-		if env.verify {
-			err := solver.VerifyWitnessWith(task, ra.Membership(), res.Rounds, res.Map,
-				solver.Options{Workers: 1, Cache: env.cache, CacheKey: ra.Signature()})
-			if err != nil {
-				return e, fmt.Errorf("census: witness for %v rejected: %w", a, err)
-			}
-		}
-	}
-	return e, nil
 }

@@ -43,9 +43,14 @@ type Checkpoint struct {
 	Summary Summary `json:"summary"`
 }
 
-// sinkKind classifies a sink for checkpoint compatibility.
+// sinkKind classifies a sink for checkpoint compatibility. Resumable
+// sinks may refine their kind via KindSink (e.g. the gzip JSONL stream),
+// so a resume never splices one stream form into another.
 func sinkKind(s Sink) string {
 	if _, ok := s.(ResumableSink); ok {
+		if ks, ok := s.(KindSink); ok {
+			return ks.SinkKind()
+		}
 		return "persistent"
 	}
 	return "volatile"

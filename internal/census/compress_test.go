@@ -1,0 +1,184 @@
+package census
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// gunzip inflates a (possibly multi-member) gzip file.
+func gunzip(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zr.Close()
+	b, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCompressedSinkMatchesPlain: the gzip sink's decompressed stream
+// is byte-identical to the plain JSONL stream, and the ".gz" suffix
+// selects compression automatically.
+func TestCompressedSinkMatchesPlain(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "census.jsonl")
+	gz := filepath.Join(dir, "census.jsonl.gz")
+	for _, path := range []string{plain, gz} {
+		sink, err := NewJSONLSink(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path == gz && !sink.Compressed() {
+			t.Fatal(".gz suffix should select compression")
+		}
+		if path == plain && sink.Compressed() {
+			t.Fatal("plain path should not compress")
+		}
+		if _, err := Stream(3, Options{Workers: 4}, sink); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := os.ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(want) {
+		t.Errorf("compressed stream (%d bytes) not smaller than plain (%d bytes)", len(comp), len(want))
+	}
+	if got := gunzip(t, gz); !bytes.Equal(got, want) {
+		t.Errorf("decompressed stream differs from plain stream (%d vs %d bytes)", len(got), len(want))
+	}
+	// NewJSONLSinkCompressed forces compression regardless of suffix.
+	forced, err := NewJSONLSinkCompressed(filepath.Join(dir, "forced.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forced.Compressed() {
+		t.Error("NewJSONLSinkCompressed should compress")
+	}
+	forced.Close()
+}
+
+// TestCompressedResumeByteIdentical: an interrupted + resumed compressed
+// run must decompress to exactly the uninterrupted plain stream — the
+// checkpoint offset lands on a gzip member boundary, the resume
+// truncates the torn tail and appends fresh members. Serial and
+// parallel.
+func TestCompressedResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "full.jsonl")
+	sink, err := NewJSONLSink(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stream(3, Options{Workers: 1}, sink); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	want, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		out := filepath.Join(dir, "part.jsonl.gz")
+		ck := filepath.Join(dir, "ck.json")
+		os.Remove(out)
+		os.Remove(ck)
+
+		part, err := NewJSONLSink(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Stream(3, Options{
+			Workers: workers, ShardSize: 8, MaxIndices: 48,
+			Checkpoint: ck, CheckpointEvery: 16,
+		}, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part.Close()
+		if !rep.Incomplete {
+			t.Fatal("budgeted run should be incomplete")
+		}
+
+		// Simulate a torn tail written after the final checkpoint: the
+		// resume must truncate it back to the member boundary.
+		f, err := os.OpenFile(out, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString("torn tail")
+		f.Close()
+
+		part, err = NewJSONLSink(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err = Stream(3, Options{
+			Workers: workers, ShardSize: 8,
+			Checkpoint: ck, Resume: true,
+		}, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part.Close()
+		if rep.Incomplete {
+			t.Fatal("resumed run should complete")
+		}
+		if got := gunzip(t, out); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: resumed compressed stream decompresses to %d bytes, want %d (plain)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestCompressedCheckpointKindGuard: a checkpoint written against a
+// compressed stream must refuse to resume with an uncompressed sink
+// (and vice versa) — splicing plain lines into a gzip file would
+// corrupt the campaign output.
+func TestCompressedCheckpointKindGuard(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "part.jsonl.gz")
+	ck := filepath.Join(dir, "ck.json")
+	sink, err := NewJSONLSink(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stream(3, Options{
+		Workers: 1, ShardSize: 8, MaxIndices: 48,
+		Checkpoint: ck, CheckpointEvery: 16,
+	}, sink); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+
+	plainSink, err := NewJSONLSink(filepath.Join(dir, "plain.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainSink.Close()
+	if _, err := Stream(3, Options{Workers: 1, Checkpoint: ck, Resume: true}, plainSink); err == nil {
+		t.Fatal("resuming a gzip checkpoint with a plain sink should fail")
+	}
+}

@@ -1,0 +1,185 @@
+package census
+
+// The per-index examination core of the census, factored out of the
+// streaming engine so other subsystems — notably the store query layer
+// (`factool serve`) — can classify or solve a single adversary on
+// demand through the exact same code path the whole-domain sweeps use.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+	"repro/internal/procs"
+	"repro/internal/solver"
+	"repro/internal/tasks"
+)
+
+// runEnv is the state shared by all workers of one census run (and by
+// all queries of one Examiner).
+type runEnv struct {
+	n         int
+	all       []procs.Set
+	universe  *chromatic.Universe
+	cache     *chromatic.TowerCache
+	orbits    *adversary.Orbits
+	solve     bool
+	kTask     int
+	maxRounds int
+	verify    bool
+}
+
+// newRunEnv normalizes the examination-shaping options into the shared
+// environment: defaulted k/rounds, a Universe (the run-private default,
+// or opts.Universe to share e.g. chromatic.SharedUniverse across
+// engines), and a TowerCache (opts.Cache, or a private one budgeted by
+// CacheBytes).
+func newRunEnv(n int, opts *Options) *runEnv {
+	kTask := opts.KTask
+	if kTask <= 0 {
+		kTask = 1
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1
+	}
+	cache := opts.Cache
+	if cache == nil {
+		if opts.CacheBytes > 0 {
+			cache = chromatic.NewTowerCacheWithBudget(opts.CacheBytes)
+		} else {
+			cache = chromatic.NewTowerCache()
+		}
+	}
+	universe := opts.Universe
+	if universe == nil {
+		universe = chromatic.NewUniverse(n)
+	}
+	return &runEnv{
+		n:         n,
+		all:       adversary.EnumerationDomain(n),
+		universe:  universe,
+		cache:     cache,
+		solve:     opts.Solve,
+		kTask:     kTask,
+		maxRounds: maxRounds,
+		verify:    opts.VerifyWitnesses,
+	}
+}
+
+// examine classifies (and optionally solves) the adversary at one
+// enumeration index. Pure per index: no cross-shard state beyond the
+// concurrency-safe Universe and TowerCache, so concurrent calls are
+// safe.
+func (env *runEnv) examine(idx uint64) (Entry, error) {
+	a := adversary.AdversaryAtIn(env.n, env.all, idx)
+	live := a.LiveSets()
+	masks := make([]uint32, len(live))
+	for i, s := range live {
+		masks[i] = uint32(s)
+	}
+	e := Entry{
+		Index:          idx,
+		Adversary:      a.String(),
+		LiveSetMasks:   masks,
+		SupersetClosed: a.IsSupersetClosed(),
+		Symmetric:      a.IsSymmetric(),
+		Fair:           a.IsFair(),
+		Setcon:         a.Setcon(),
+		CSize:          a.CSize(),
+	}
+	if !env.solve || !e.Fair || e.Setcon < 1 {
+		return e, nil
+	}
+	// Solve jobs run serially inside each worker (Workers: 1): the
+	// census parallelism is across adversaries, not within one solve.
+	ra, err := affine.BuildRAForAdversary(env.universe, a, affine.DefaultVariant)
+	if err != nil {
+		return e, fmt.Errorf("census: R_A for %v: %w", a, err)
+	}
+	e.RAFacets = ra.NumFacets()
+	task := tasks.KSetConsensus(env.n, env.kTask)
+	res, err := solver.SolveAffineWith(task, ra, env.maxRounds, solver.Options{
+		Workers: 1,
+		Cache:   env.cache,
+	})
+	e.Solved = true
+	switch {
+	case errors.Is(err, solver.ErrSearchLimit):
+		e.Undecided = true
+		return e, nil
+	case err != nil:
+		return e, fmt.Errorf("census: solve %v: %w", a, err)
+	}
+	solvable := res.Solvable
+	e.Solvable = &solvable
+	if solvable {
+		e.Rounds = res.Rounds
+		if env.verify {
+			err := solver.VerifyWitnessWith(task, ra.Membership(), res.Rounds, res.Map,
+				solver.Options{Workers: 1, Cache: env.cache, CacheKey: ra.Signature()})
+			if err != nil {
+				return e, fmt.Errorf("census: witness for %v rejected: %w", a, err)
+			}
+		}
+	}
+	return e, nil
+}
+
+// Examiner answers single-index census queries — the live-computation
+// fallback of the store query layer. It shares the census examination
+// code path exactly (same Entry for the same index and options as a
+// whole-domain sweep) and is safe for concurrent use: the Universe and
+// TowerCache it holds are concurrency-safe and every query builds its
+// own adversary.
+type Examiner struct {
+	env *runEnv
+}
+
+// NewExaminer builds an examiner for n-process queries. Only the
+// examination-shaping options are read: Solve, KTask, MaxRounds,
+// VerifyWitnesses, Cache/CacheBytes and Universe. Pass
+// chromatic.SharedUniverse(n) as opts.Universe to share the vertex
+// identity space with other engines of the process.
+func NewExaminer(n int, opts Options) (*Examiner, error) {
+	if n < 1 || n > 6 {
+		return nil, fmt.Errorf("census: n must be in [1,6], got %d", n)
+	}
+	return &Examiner{env: newRunEnv(n, &opts)}, nil
+}
+
+// N returns the system size queries are answered for.
+func (x *Examiner) N() int { return x.env.n }
+
+// Examine classifies (and, when the examiner solves, decides) the
+// adversary at the given enumeration index.
+func (x *Examiner) Examine(idx uint64) (Entry, error) {
+	if idx >= adversary.CensusSize(x.env.n) {
+		return Entry{}, fmt.Errorf("census: index %d beyond the n=%d domain", idx, x.env.n)
+	}
+	return x.env.examine(idx)
+}
+
+// CacheSnapshot reports the examiner's tower-cache statistics.
+func (x *Examiner) CacheSnapshot() chromatic.CacheStats {
+	return x.env.cache.Snapshot()
+}
+
+// Clone returns a deep copy of the entry: retained entries must not
+// alias the masks slice or the solvability pointer of the original.
+func (e *Entry) Clone() *Entry {
+	cp := *e
+	if e.LiveSetMasks != nil {
+		// make+copy, not append: an empty adversary's masks are an
+		// empty non-nil slice, which must stay [] (not null) in JSON.
+		cp.LiveSetMasks = make([]uint32, len(e.LiveSetMasks))
+		copy(cp.LiveSetMasks, e.LiveSetMasks)
+	}
+	if e.Solvable != nil {
+		v := *e.Solvable
+		cp.Solvable = &v
+	}
+	return &cp
+}

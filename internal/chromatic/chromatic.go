@@ -283,10 +283,12 @@ func (r Run2) FacetIDs(u *Universe) []sc.VertexID {
 	return out
 }
 
-// ForEachRun2 enumerates every 2-round run over the given ground set.
-// Stops early if f returns false.
+// ForEachRun2 enumerates every 2-round run over the given ground set
+// (from the cached partition table — see ForEachRun2Keyed for the form
+// that also yields precomputed run keys). Stops early if f returns
+// false.
 func ForEachRun2(ground procs.Set, f func(Run2) bool) {
-	parts := procs.EnumerateOrderedPartitions(ground)
+	parts := partitionsFor(ground).parts
 	for _, r1 := range parts {
 		for _, r2 := range parts {
 			if !f(Run2{R1: r1, R2: r2}) {

@@ -29,13 +29,19 @@ import (
 // colors) yields a simplex of the affine task L ⊆ Chr² s. The full Chr²
 // subdivision is the constant-true predicate.
 //
+// The enumerators pass the run's binary key alongside it, assembled from
+// the per-partition packed-key table (partitions.go) instead of
+// re-derived per run — the key is what affine-task membership maps are
+// indexed by, so predicates never recompute it on the hot path. Callers
+// invoking a predicate on a run of their own pass run.Key().
+//
 // Predicates are evaluated concurrently by the parallel subdivision
 // engine and must be safe for simultaneous calls from multiple
 // goroutines (affine.Task.Membership and FullChr2Membership are).
-type Membership func(run Run2) bool
+type Membership func(run Run2, key RunKey) bool
 
 // FullChr2Membership accepts every run: L = Chr² s.
-var FullChr2Membership Membership = func(Run2) bool { return true }
+var FullChr2Membership Membership = func(Run2, RunKey) bool { return true }
 
 // DefaultWorkers is the worker count used when callers pass workers <= 0:
 // one worker per available CPU.
@@ -87,8 +93,8 @@ func ApplyAffineWorkers(base *sc.Complex, member Membership, workers int) (*Iter
 	}
 	if workers == 1 {
 		for _, f := range faces {
-			ForEachRun2(f.ground, func(r Run2) bool {
-				if member(r) {
+			ForEachRun2Keyed(f.ground, func(r Run2, k RunKey) bool {
+				if member(r, k) {
 					it.addRun(r, f.byColor)
 				}
 				return true
@@ -149,25 +155,26 @@ type vertexRec struct {
 }
 
 // runUnit is the parallel work unit: one base face crossed with one
-// first-round schedule. Workers enumerate its second-round schedules.
+// first-round schedule (an index into the face's cached partition
+// table). Workers enumerate its second-round schedules.
 type runUnit struct {
 	face int
-	r1   procs.OrderedPartition
+	r1   int
 }
 
 // applyParallel fans the run enumeration out over the worker pool and
 // merges the per-unit results in serial enumeration order.
 func (it *Iterated) applyParallel(faces []baseFace, member Membership, workers int) {
-	partsByGround := make(map[procs.Set][]procs.OrderedPartition)
+	tabByGround := make(map[procs.Set]*partTable)
 	for _, f := range faces {
-		if _, ok := partsByGround[f.ground]; !ok {
-			partsByGround[f.ground] = procs.EnumerateOrderedPartitions(f.ground)
+		if _, ok := tabByGround[f.ground]; !ok {
+			tabByGround[f.ground] = partitionsFor(f.ground)
 		}
 	}
 	var units []runUnit
 	for fi, f := range faces {
-		for _, r1 := range partsByGround[f.ground] {
-			units = append(units, runUnit{face: fi, r1: r1})
+		for i := range tabByGround[f.ground].parts {
+			units = append(units, runUnit{face: fi, r1: i})
 		}
 	}
 	// results[i] holds the accepted facets of unit i, each facet a list
@@ -187,15 +194,27 @@ func (it *Iterated) applyParallel(faces []baseFace, member Membership, workers i
 				}
 				u := units[i]
 				f := faces[u.face]
+				tab := tabByGround[f.ground]
+				r1 := tab.parts[u.r1]
+				var k1 uint64
+				if tab.keys != nil {
+					k1 = tab.keys[u.r1]
+				}
 				// Within a unit the first round is fixed, so a vertex is
 				// determined by (color, round-2 view): memoize records
 				// per (p, View²) instead of rebuilding them per run.
-				views1 := u.r1.Views()
+				views1 := r1.Views()
 				memo := make(map[uint64]*vertexRec)
 				var accepted [][]*vertexRec
-				for _, r2 := range partsByGround[f.ground] {
-					r := Run2{R1: u.r1, R2: r2}
-					if !member(r) {
+				for ri, r2 := range tab.parts {
+					r := Run2{R1: r1, R2: r2}
+					var key RunKey
+					if tab.keys != nil {
+						key = RunKey{R1: k1, R2: tab.keys[ri]}
+					} else {
+						key = r.Key()
+					}
+					if !member(r, key) {
 						continue
 					}
 					recs := make([]*vertexRec, 0, f.ground.Size())

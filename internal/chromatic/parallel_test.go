@@ -26,7 +26,7 @@ func standardBase(t testing.TB, n int) *sc.Complex {
 // restrictedMember is a pure, concurrency-safe membership predicate
 // that selects a strict sub-complex of Chr²: runs whose first round has
 // at most two blocks.
-var restrictedMember Membership = func(r Run2) bool { return len(r.R1) <= 2 }
+var restrictedMember Membership = func(r Run2, _ RunKey) bool { return len(r.R1) <= 2 }
 
 // TestApplyAffineParallelDeterminism asserts the parallel engine is
 // byte-identical to the serial path: same vertex IDs, labels, carriers

@@ -1,0 +1,107 @@
+package chromatic
+
+// Per-ground ordered-partition tables with precomputed packed keys.
+//
+// Every 2-round enumeration (ForEachRun2, the parallel subdivision
+// engine, affine-task restriction) walks the same |parts|² run grid per
+// ground set, and the membership hot path keys each run by the packed
+// encodings of its two schedules. Deriving those keys per run costs
+// |parts|² PackedKey computations where |parts| suffice: the table below
+// computes each partition's key exactly once per ground set per process
+// lifetime, and run keys are assembled from two table reads. Caching the
+// enumeration itself also removes the recursive
+// procs.EnumerateOrderedPartitions allocation from every ApplyAffine
+// level.
+//
+// Cached partitions are shared read-only values: callers must never
+// mutate the returned schedules (no caller does — runs are consumed
+// structurally).
+
+import (
+	"sync"
+
+	"repro/internal/procs"
+)
+
+// partTable is the cached enumeration of one ground set: the ordered
+// partitions in the canonical procs.EnumerateOrderedPartitions order and
+// their packed keys, index-aligned. keys is nil when the ground exceeds
+// the packed-key capacity (IDs ≥ procs.PackedKeyMaxProcs), where key
+// derivation would panic just as Run2.Key does.
+type partTable struct {
+	parts []procs.OrderedPartition
+	keys  []uint64
+}
+
+var (
+	partMu   sync.RWMutex
+	partTabs = map[procs.Set]*partTable{}
+)
+
+// partitionsFor returns the cached partition table of ground, building
+// it on first use.
+func partitionsFor(ground procs.Set) *partTable {
+	partMu.RLock()
+	t, ok := partTabs[ground]
+	partMu.RUnlock()
+	if ok {
+		return t
+	}
+	partMu.Lock()
+	defer partMu.Unlock()
+	if t, ok = partTabs[ground]; ok {
+		return t
+	}
+	t = &partTable{parts: procs.EnumerateOrderedPartitions(ground)}
+	if packable(ground) {
+		t.keys = make([]uint64, len(t.parts))
+		for i, p := range t.parts {
+			t.keys[i] = p.PackedKey()
+		}
+	}
+	partTabs[ground] = t
+	return t
+}
+
+// packable reports whether every partition of ground fits the packed-key
+// encoding (all member IDs inside the nibble layout).
+func packable(ground procs.Set) bool {
+	return uint32(ground)>>procs.PackedKeyMaxProcs == 0 &&
+		ground.Size() < procs.PackedKeyMaxProcs
+}
+
+// OrderedPartitionsOf returns the cached enumeration of every ordered
+// partition of ground in the canonical order. The slice and its
+// partitions are shared — callers must treat them as read-only.
+func OrderedPartitionsOf(ground procs.Set) []procs.OrderedPartition {
+	return partitionsFor(ground).parts
+}
+
+// ForEachRun2Keyed enumerates every 2-round run over the ground set
+// together with its binary run key, assembled from the per-partition
+// packed-key table instead of re-derived per run. Stops early if f
+// returns false.
+func ForEachRun2Keyed(ground procs.Set, f func(Run2, RunKey) bool) {
+	t := partitionsFor(ground)
+	if t.keys == nil {
+		// Beyond packed capacity: derive per run (panics exactly where
+		// Run2.Key would).
+		for _, r1 := range t.parts {
+			for _, r2 := range t.parts {
+				r := Run2{R1: r1, R2: r2}
+				if !f(r, r.Key()) {
+					return
+				}
+			}
+		}
+		return
+	}
+	for i, r1 := range t.parts {
+		k1 := t.keys[i]
+		for j, r2 := range t.parts {
+			if !f(Run2{R1: r1, R2: r2}, RunKey{R1: k1, R2: t.keys[j]}) {
+				return
+			}
+		}
+	}
+}

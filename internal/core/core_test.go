@@ -240,7 +240,7 @@ func TestRestrictedFacetsShrink(t *testing.T) {
 			if r.Ground() != p {
 				t.Fatalf("run over wrong ground: %v vs %v", r.Ground(), p)
 			}
-			if !member(r) {
+			if !member(r, r.Key()) {
 				t.Fatalf("restricted facet not a member: %v", r)
 			}
 		}

@@ -1,0 +1,77 @@
+package store
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/census"
+)
+
+// benchStore builds an n=4 orbit store once per benchmark run.
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	dir := b.TempDir()
+	path := filepath.Join(dir, "orbit.jsonl")
+	sink, err := census.NewJSONLSink(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := census.Stream(4, census.Options{Orbits: true}, sink); err != nil {
+		b.Fatal(err)
+	}
+	sink.Close()
+	st, err := Create(filepath.Join(dir, "store"), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	if _, err := st.Merge([]string{path}, MergeOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkCensusStoreLookup measures the orbit-aware point-query hot
+// path over the n=4 store (block cache warm, spanning direct hits and
+// Permute rehydrations).
+func BenchmarkCensusStoreLookup(b *testing.B) {
+	st := benchStore(b)
+	orbits := adversary.NewOrbits(4)
+	total := adversary.CensusSize(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := uint64(i*2654435761) % total
+		if _, src, err := st.Lookup(idx, orbits); err != nil || src == LookupMiss {
+			b.Fatalf("lookup %d: src=%v err=%v", idx, src, err)
+		}
+	}
+}
+
+// BenchmarkCensusServeClassify measures the full HTTP query path
+// (handler, store, LRU) under sequential load.
+func BenchmarkCensusServeClassify(b *testing.B) {
+	st := benchStore(b)
+	srv, err := NewServer(st, ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	total := adversary.CensusSize(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := uint64(i*2654435761) % total
+		resp, err := http.Get(fmt.Sprintf("%s/v1/classify?n=4&index=%d", ts.URL, idx))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,432 @@
+package store
+
+// The HTTP query layer over a census store: `factool serve`. Queries
+// resolve store-first through an in-memory LRU; a miss falls back to
+// live computation on the census examination path (sharing
+// chromatic.SharedUniverse(n) and a byte-budgeted TowerCache across all
+// requests) and persists the computed answer back to the store, so the
+// store converges toward the queried working set instead of recomputing
+// it per request.
+//
+//	GET /v1/classify?n=N&index=I   one adversary's census entry
+//	GET /v1/summary?n=N            aggregate over the whole store
+//	GET /v1/solve?n=N&index=I&ktask=K[&rounds=L]   live FACT decision
+//	GET /healthz                   liveness + counters
+//
+// Handlers are safe for arbitrary concurrency: the store serializes
+// block access internally, the LRU has its own lock, and the live
+// examiner is concurrency-safe by construction.
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adversary"
+	"repro/internal/census"
+	"repro/internal/chromatic"
+)
+
+// ServerOptions tune the query layer.
+type ServerOptions struct {
+	// CacheEntries bounds the in-memory entry LRU. <= 0 selects 4096.
+	CacheEntries int
+
+	// CacheBytes budgets the live-solve tower cache (LRU eviction).
+	// <= 0 means unbounded.
+	CacheBytes int64
+
+	// MaxRounds bounds /v1/solve searches when the request does not
+	// pass rounds=. <= 0 selects 1.
+	MaxRounds int
+
+	// ReadOnly disables the write-back of computed entries.
+	ReadOnly bool
+}
+
+// Server answers census queries from a store. Create with NewServer,
+// mount Handler on any mux or http.Server.
+type Server struct {
+	st     *Store
+	n      int
+	orbits *adversary.Orbits
+	opts   ServerOptions
+
+	classify *census.Examiner
+	universe *chromatic.Universe
+	tcache   *chromatic.TowerCache
+
+	lru *entryLRU
+
+	// Counters (atomic): surfaced on /healthz.
+	requests   atomic.Uint64
+	cacheHits  atomic.Uint64
+	storeHits  atomic.Uint64
+	rehydrated atomic.Uint64
+	computed   atomic.Uint64
+	persisted  atomic.Uint64
+}
+
+// NewServer builds the query layer over an open store.
+func NewServer(st *Store, opts ServerOptions) (*Server, error) {
+	n := st.N()
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 4096
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 1
+	}
+	universe := chromatic.SharedUniverse(n)
+	var tcache *chromatic.TowerCache
+	if opts.CacheBytes > 0 {
+		tcache = chromatic.NewTowerCacheWithBudget(opts.CacheBytes)
+	} else {
+		tcache = chromatic.NewTowerCache()
+	}
+	classify, err := census.NewExaminer(n, census.Options{Universe: universe, Cache: tcache})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		st:       st,
+		n:        n,
+		orbits:   adversary.NewOrbits(n),
+		opts:     opts,
+		classify: classify,
+		universe: universe,
+		tcache:   tcache,
+		lru:      newEntryLRU(opts.CacheEntries),
+	}, nil
+}
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/summary", s.handleSummary)
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// httpError is the JSON error envelope.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// params parses and validates the n (must match the store) and, when
+// wantIndex, the index query parameters.
+func (s *Server) params(w http.ResponseWriter, r *http.Request, wantIndex bool) (idx uint64, ok bool) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return 0, false
+	}
+	nStr := r.URL.Query().Get("n")
+	if nStr == "" {
+		httpError(w, http.StatusBadRequest, "missing n parameter (this store serves n=%d)", s.n)
+		return 0, false
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n != s.n {
+		httpError(w, http.StatusBadRequest, "n=%s not served: this store holds the n=%d census", nStr, s.n)
+		return 0, false
+	}
+	if !wantIndex {
+		return 0, true
+	}
+	idxStr := r.URL.Query().Get("index")
+	if idxStr == "" {
+		httpError(w, http.StatusBadRequest, "missing index parameter")
+		return 0, false
+	}
+	idx, err = strconv.ParseUint(idxStr, 10, 64)
+	if err != nil || idx >= adversary.CensusSize(s.n) {
+		httpError(w, http.StatusBadRequest, "index %s outside the n=%d domain [0, %d)",
+			idxStr, s.n, adversary.CensusSize(s.n))
+		return 0, false
+	}
+	return idx, true
+}
+
+// classifyResponse is the /v1/classify envelope.
+type classifyResponse struct {
+	N      int           `json:"n"`
+	Index  uint64        `json:"index"`
+	Source string        `json:"source"` // cache | store | store-rehydrated | computed
+	Entry  *census.Entry `json:"entry"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	idx, ok := s.params(w, r, true)
+	if !ok {
+		return
+	}
+	e, source, err := s.classifyIndex(idx)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "classify %d: %v", idx, err)
+		return
+	}
+	writeJSON(w, classifyResponse{N: s.n, Index: idx, Source: source, Entry: e})
+}
+
+// classifyIndex resolves one index: LRU, store (orbit-aware), then live
+// computation with write-back.
+func (s *Server) classifyIndex(idx uint64) (*census.Entry, string, error) {
+	if e, ok := s.lru.get(idx); ok {
+		s.cacheHits.Add(1)
+		return e, "cache", nil
+	}
+	e, src, err := s.st.Lookup(idx, s.orbits)
+	if err != nil {
+		return nil, "", err
+	}
+	switch src {
+	case LookupDirect:
+		s.storeHits.Add(1)
+		e = stripOrbitSize(e)
+		s.lru.put(idx, e)
+		return e, "store", nil
+	case LookupRehydrated:
+		s.rehydrated.Add(1)
+		s.lru.put(idx, e)
+		return e, "store-rehydrated", nil
+	}
+	// Miss: compute live, persist the canonical form the store's kind
+	// expects, answer for the queried index. Solve-mode stores get no
+	// write-back: the sweep's (k, rounds) configuration is not
+	// recoverable, so a classify-only entry would conflict with the
+	// completed sweep's bytes on a later merge.
+	s.computed.Add(1)
+	e, persist, err := s.computeEntry(idx)
+	if err != nil {
+		return nil, "", err
+	}
+	if !s.opts.ReadOnly && !s.st.SolveMode() {
+		if added, err := s.st.PutNew(persist); err != nil {
+			return nil, "", err
+		} else if added {
+			s.persisted.Add(1)
+		}
+	}
+	s.lru.put(idx, e)
+	return e, "computed", nil
+}
+
+// computeEntry classifies idx on the live path. For orbit stores the
+// persisted form is the orbit's canonical representative (carrying its
+// orbit size, so store aggregates stay orbit-weighted); the response
+// entry is always the queried index's own.
+func (s *Server) computeEntry(idx uint64) (respond, persist *census.Entry, err error) {
+	if s.st.Orbits() {
+		canon, size := s.orbits.Canonical(idx)
+		ce, err := s.classify.Examine(canon)
+		if err != nil {
+			return nil, nil, err
+		}
+		ce.OrbitSize = size
+		persist = &ce
+		if canon == idx {
+			return stripOrbitSize(&ce), persist, nil
+		}
+		respond, err = Rehydrate(s.n, persist, idx, s.orbits)
+		if err != nil {
+			return nil, nil, err
+		}
+		return respond, persist, nil
+	}
+	e, err := s.classify.Examine(idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &e, &e, nil
+}
+
+// summaryResponse is the /v1/summary envelope.
+type summaryResponse struct {
+	N       int            `json:"n"`
+	Summary census.Summary `json:"summary"`
+	Store   Stats          `json:"store"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if _, ok := s.params(w, r, false); !ok {
+		return
+	}
+	sum, err := s.st.Summary()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "summary: %v", err)
+		return
+	}
+	writeJSON(w, summaryResponse{N: s.n, Summary: sum, Store: s.st.Stats()})
+}
+
+// solveResponse is the /v1/solve envelope.
+type solveResponse struct {
+	N         int    `json:"n"`
+	Index     uint64 `json:"index"`
+	Adversary string `json:"adversary"`
+	Fair      bool   `json:"fair"`
+	Setcon    int    `json:"setcon"`
+	KTask     int    `json:"k_task"`
+	MaxRounds int    `json:"max_rounds"`
+	Solved    bool   `json:"solved"`
+	Solvable  *bool  `json:"solvable,omitempty"`
+	Rounds    int    `json:"rounds,omitempty"`
+	RAFacets  int    `json:"ra_facets,omitempty"`
+	Undecided bool   `json:"undecided,omitempty"`
+	Source    string `json:"source"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	idx, ok := s.params(w, r, true)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	kTask := 1
+	if v := q.Get("ktask"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 1 || k > s.n {
+			httpError(w, http.StatusBadRequest, "ktask %q outside [1, %d]", v, s.n)
+			return
+		}
+		kTask = k
+	}
+	maxRounds := s.opts.MaxRounds
+	if v := q.Get("rounds"); v != "" {
+		l, err := strconv.Atoi(v)
+		if err != nil || l < 1 || l > 4 {
+			httpError(w, http.StatusBadRequest, "rounds %q outside [1, 4]", v)
+			return
+		}
+		maxRounds = l
+	}
+	// Always a live decision over the shared universe and tower cache:
+	// store entries only memoize the census' own solve configuration,
+	// while /v1/solve answers for any (ktask, rounds).
+	ex, err := census.NewExaminer(s.n, census.Options{
+		Solve: true, KTask: kTask, MaxRounds: maxRounds,
+		Universe: s.universe, Cache: s.tcache,
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "solve: %v", err)
+		return
+	}
+	s.computed.Add(1)
+	e, err := ex.Examine(idx)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "solve %d: %v", idx, err)
+		return
+	}
+	writeJSON(w, solveResponse{
+		N: s.n, Index: idx, Adversary: e.Adversary,
+		Fair: e.Fair, Setcon: e.Setcon,
+		KTask: kTask, MaxRounds: maxRounds,
+		Solved: e.Solved, Solvable: e.Solvable, Rounds: e.Rounds,
+		RAFacets: e.RAFacets, Undecided: e.Undecided,
+		Source: "computed",
+	})
+}
+
+// healthzResponse is the /healthz envelope.
+type healthzResponse struct {
+	Status     string `json:"status"`
+	N          int    `json:"n"`
+	Store      Stats  `json:"store"`
+	Requests   uint64 `json:"requests"`
+	CacheHits  uint64 `json:"cache_hits"`
+	StoreHits  uint64 `json:"store_hits"`
+	Rehydrated uint64 `json:"rehydrated"`
+	Computed   uint64 `json:"computed"`
+	Persisted  uint64 `json:"persisted"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, healthzResponse{
+		Status: "ok", N: s.n, Store: s.st.Stats(),
+		Requests:   s.requests.Load(),
+		CacheHits:  s.cacheHits.Load(),
+		StoreHits:  s.storeHits.Load(),
+		Rehydrated: s.rehydrated.Load(),
+		Computed:   s.computed.Load(),
+		Persisted:  s.persisted.Load(),
+	})
+}
+
+// stripOrbitSize normalizes a stored entry for query responses: the
+// orbit size is sweep metadata of orbit-reduced stores, not part of the
+// adversary's census record, so /v1/classify answers are byte-identical
+// to a full sweep's entries whatever store kind backs them.
+func stripOrbitSize(e *census.Entry) *census.Entry {
+	if e.OrbitSize == 0 {
+		return e
+	}
+	cp := e.Clone()
+	cp.OrbitSize = 0
+	return cp
+}
+
+// entryLRU is a bounded index → entry cache. Entries are stored and
+// returned as clones, so callers never share mutable state.
+type entryLRU struct {
+	mu    sync.Mutex
+	cap   int
+	items map[uint64]*list.Element
+	order *list.List // front = most recent
+}
+
+type lruItem struct {
+	idx uint64
+	e   *census.Entry
+}
+
+func newEntryLRU(capacity int) *entryLRU {
+	return &entryLRU{
+		cap:   capacity,
+		items: make(map[uint64]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+func (l *entryLRU) get(idx uint64) (*census.Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[idx]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruItem).e.Clone(), true
+}
+
+func (l *entryLRU) put(idx uint64, e *census.Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[idx]; ok {
+		el.Value.(*lruItem).e = e.Clone()
+		l.order.MoveToFront(el)
+		return
+	}
+	l.items[idx] = l.order.PushFront(&lruItem{idx: idx, e: e.Clone()})
+	for l.order.Len() > l.cap {
+		back := l.order.Back()
+		l.order.Remove(back)
+		delete(l.items, back.Value.(*lruItem).idx)
+	}
+}

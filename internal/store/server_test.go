@@ -1,0 +1,284 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/census"
+)
+
+// newTestServer builds a server over a store merged from one shard.
+func newTestServer(t *testing.T, n int, shardOpts census.Options, srvOpts ServerOptions) (*Server, *Store) {
+	t.Helper()
+	dir := t.TempDir()
+	shard, _ := censusJSONL(t, dir, "shard.jsonl", n, shardOpts)
+	st, err := Create(filepath.Join(dir, "store"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if _, err := st.Merge([]string{shard}, MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(st, srvOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, st
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestServeClassifyMatchesCensus: every /v1/classify answer — whether
+// served from the store, rehydrated from an orbit representative, or
+// computed live — equals the direct census entry byte-for-byte.
+func TestServeClassifyMatchesCensus(t *testing.T) {
+	srv, _ := newTestServer(t, 3, census.Options{Workers: 1, Orbits: true}, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := census.Run(3, census.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]int{}
+	for i := range rep.Entries {
+		want := &rep.Entries[i]
+		var got classifyResponse
+		code := getJSON(t, fmt.Sprintf("%s/v1/classify?n=3&index=%d", ts.URL, want.Index), &got)
+		if code != http.StatusOK {
+			t.Fatalf("classify %d: HTTP %d", want.Index, code)
+		}
+		if mustJSON(t, got.Entry) != mustJSON(t, want) {
+			t.Fatalf("index %d (%s): served %s != census %s",
+				want.Index, got.Source, mustJSON(t, got.Entry), mustJSON(t, want))
+		}
+		sources[got.Source]++
+	}
+	if sources["store"] == 0 || sources["store-rehydrated"] == 0 {
+		t.Errorf("expected both direct and rehydrated answers, got %v", sources)
+	}
+}
+
+// TestServeSummaryMatchesCensus: /v1/summary over a full-sweep store
+// equals the census summary exactly.
+func TestServeSummaryMatchesCensus(t *testing.T) {
+	srv, _ := newTestServer(t, 3, census.Options{Workers: 1}, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := census.Run(3, census.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got summaryResponse
+	if code := getJSON(t, ts.URL+"/v1/summary?n=3", &got); code != http.StatusOK {
+		t.Fatalf("summary: HTTP %d", code)
+	}
+	if mustJSON(t, got.Summary) != mustJSON(t, rep.Summary) {
+		t.Errorf("served summary %s != census %s", mustJSON(t, got.Summary), mustJSON(t, rep.Summary))
+	}
+	if got.Store.Entries != uint64(len(rep.Entries)) {
+		t.Errorf("store stats report %d entries, want %d", got.Store.Entries, len(rep.Entries))
+	}
+}
+
+// TestServeMissComputesAndPersists pins the acceptance criterion: a
+// query the store cannot answer falls back to live computation and the
+// answer lands durably in the store — a fresh server over the same
+// store answers it without computing.
+func TestServeMissComputesAndPersists(t *testing.T) {
+	// A partial orbit sweep: the first 64 indices only, so most of the
+	// domain misses.
+	srv, st := newTestServer(t, 3,
+		census.Options{Workers: 1, Orbits: true, ShardSize: 16, MaxIndices: 64},
+		ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := census.Run(3, census.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index 100 is beyond the swept frontier: must be computed live.
+	want := &rep.Entries[100]
+	var got classifyResponse
+	getJSON(t, ts.URL+"/v1/classify?n=3&index=100", &got)
+	if got.Source != "computed" {
+		t.Fatalf("expected a live-computed answer, got source %q", got.Source)
+	}
+	if mustJSON(t, got.Entry) != mustJSON(t, want) {
+		t.Fatalf("computed %s != census %s", mustJSON(t, got.Entry), mustJSON(t, want))
+	}
+	// Second query: the entry LRU answers.
+	getJSON(t, ts.URL+"/v1/classify?n=3&index=100", &got)
+	if got.Source != "cache" {
+		t.Errorf("second query source %q, want cache", got.Source)
+	}
+
+	// A fresh server over the same store must find the persisted
+	// answer without recomputing (the write-back stored the canonical
+	// representative, so index 100 resolves through its orbit).
+	srv2, err := NewServer(st, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	getJSON(t, ts2.URL+"/v1/classify?n=3&index=100", &got)
+	if got.Source != "store" && got.Source != "store-rehydrated" {
+		t.Fatalf("persisted answer not found by fresh server: source %q", got.Source)
+	}
+	if mustJSON(t, got.Entry) != mustJSON(t, want) {
+		t.Fatalf("persisted %s != census %s", mustJSON(t, got.Entry), mustJSON(t, want))
+	}
+}
+
+// TestServeSolve drives the live /v1/solve path: the 1-obstruction-free
+// adversary at n=3 has setcon 1, so 1-set consensus is solvable.
+func TestServeSolve(t *testing.T) {
+	srv, _ := newTestServer(t, 3, census.Options{Workers: 1}, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Find the 1-OF adversary's enumeration index: live sets = all
+	// singletons, masks {1, 2, 4} → index bits of the first three
+	// domain positions... resolved robustly via the census entries.
+	rep, err := census.Run(3, census.Options{Workers: 1, Solve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx uint64
+	found := false
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		if e.Fair && e.Setcon == 1 && e.Solved && e.Solvable != nil && *e.Solvable {
+			idx, found = e.Index, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no solvable setcon-1 adversary in the n=3 census")
+	}
+	var got solveResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/solve?n=3&index=%d&ktask=1", ts.URL, idx), &got); code != http.StatusOK {
+		t.Fatalf("solve: HTTP %d", code)
+	}
+	if got.Solvable == nil || !*got.Solvable {
+		t.Fatalf("solve response %+v: want solvable", got)
+	}
+}
+
+// TestServeBadRequests: parameter validation covers n mismatch, missing
+// and out-of-domain indices, and non-GET methods.
+func TestServeBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t, 3, census.Options{Workers: 1}, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, url := range []string{
+		"/v1/classify?n=4&index=0",   // wrong n
+		"/v1/classify?index=0",       // missing n
+		"/v1/classify?n=3",           // missing index
+		"/v1/classify?n=3&index=128", // beyond domain
+		"/v1/solve?n=3&index=0&ktask=9",
+		"/v1/solve?n=3&index=0&rounds=99",
+		"/v1/summary?n=2",
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: HTTP %d, want 400", url, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/classify?n=3&index=0", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST classify: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeConcurrent hammers the handler from many goroutines across
+// hits, rehydrations, misses (with write-back) and summaries — the
+// -race correctness satellite.
+func TestServeConcurrent(t *testing.T) {
+	srv, _ := newTestServer(t, 3,
+		census.Options{Workers: 1, Orbits: true, ShardSize: 16, MaxIndices: 64},
+		ServerOptions{CacheEntries: 32})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := census.Run(3, census.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				idx := uint64((i*workers + w) * 2 % 128)
+				var got classifyResponse
+				resp, err := http.Get(fmt.Sprintf("%s/v1/classify?n=3&index=%d", ts.URL, idx))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+					resp.Body.Close()
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if mustJSON(t, got.Entry) != mustJSON(t, &rep.Entries[idx]) {
+					errs <- fmt.Errorf("index %d: %s != %s", idx, mustJSON(t, got.Entry), mustJSON(t, &rep.Entries[idx]))
+					return
+				}
+				if i%16 == 0 {
+					var sum summaryResponse
+					resp, err := http.Get(ts.URL + "/v1/summary?n=3")
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+						resp.Body.Close()
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

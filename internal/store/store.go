@@ -1,0 +1,664 @@
+// Package store implements the queryable census store: a compact,
+// compressed, indexed on-disk form of adversary-census results, built
+// by merging census JSONL shards (including the nightly census-long
+// artifacts) and served by the `factool serve` HTTP layer.
+//
+// A store is a directory holding a MANIFEST.json and one generation of
+// block data (blocks-%06d.dat): gzip-compressed blocks of raw census
+// JSON lines, each block covering a sorted range of enumeration
+// indices. The manifest is the sparse index — per block its first/last
+// index, offset, compressed size and CRC — kept sorted by first index
+// so a point query binary-searches the manifest, inflates one block,
+// and binary-searches its entries. Writes are crash-safe by
+// construction: block data is referenced only once the manifest rename
+// lands, merges write a fresh generation file before swapping the
+// manifest, and appended bytes beyond the manifest's horizon are
+// truncated away on open.
+//
+// Lookups are orbit-aware: a query for any adversary index resolves
+// through adversary.Orbits.Canonical to its stored representative and
+// rehydrates the entry for the queried index via Adversary.Permute —
+// so a store built from an orbit-reduced sweep (up to n! smaller)
+// answers for the whole domain.
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/adversary"
+	"repro/internal/census"
+)
+
+const (
+	manifestName  = "MANIFEST.json"
+	formatVersion = 1
+
+	// DefaultBlockEntries is the number of entries per compressed block:
+	// large enough to compress well (JSON lines share most of their
+	// structure), small enough that a point query inflates little.
+	DefaultBlockEntries = 256
+
+	// blockCacheSize bounds the per-store cache of inflated blocks.
+	blockCacheSize = 16
+)
+
+// Errors surfaced by store operations.
+var (
+	// ErrConflict reports two shards (or a shard and the store) holding
+	// different bytes for the same enumeration index — overlapping
+	// inputs must agree byte-for-byte to merge.
+	ErrConflict = errors.New("store: conflicting entries for the same index")
+	// ErrCorrupt reports a store whose data fails validation (CRC, block
+	// framing, or manifest/data disagreement).
+	ErrCorrupt = errors.New("store: corrupt data")
+	// ErrKindMismatch reports mixing orbit-reduced and full-sweep
+	// entries in one store, which would skew every aggregate.
+	ErrKindMismatch = errors.New("store: cannot mix orbit-reduced and full-sweep entries")
+)
+
+// Entry kinds recorded in the manifest. A store is committed to one
+// kind by its first ingested entry: orbit stores hold canonical
+// representatives weighted by orbit size, full stores hold one entry
+// per swept index.
+const (
+	kindUnknown = ""
+	kindFull    = "full"
+	kindOrbit   = "orbit"
+)
+
+// blockMeta is the sparse-index record of one compressed block.
+type blockMeta struct {
+	First   uint64 `json:"first"`
+	Last    uint64 `json:"last"`
+	Entries int    `json:"entries"`
+	Offset  int64  `json:"offset"`
+	Size    int64  `json:"size"`
+	CRC     uint32 `json:"crc32"`
+}
+
+// manifest is the persistent index of a store.
+type manifest struct {
+	Version   int    `json:"version"`
+	N         int    `json:"n"`
+	EntryKind string `json:"entry_kind,omitempty"`
+
+	// Solve records that the store holds entries of a solve-mode sweep
+	// (set as soon as any ingested entry carries solve results). The
+	// sweep's exact solve configuration (k, rounds) is not recoverable
+	// from entries, so the serving layer disables classify write-backs
+	// into such a store rather than mixing configurations.
+	Solve bool `json:"solve,omitempty"`
+
+	Generation int         `json:"generation"`
+	DataFile   string      `json:"data_file"`
+	Blocks     []blockMeta `json:"blocks"` // sorted by First
+}
+
+// Store is an open census store. Safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	man     manifest
+	data    *os.File
+	dataEnd int64 // horizon of manifest-referenced bytes
+
+	// prefixMaxLast[i] = max(Blocks[0..i].Last): the interval-stabbing
+	// helper that bounds how far left of the binary-search point a
+	// lookup must scan when appended blocks overlap merged ones.
+	prefixMaxLast []uint64
+
+	// blockCache is keyed by data-file offset — stable across manifest
+	// inserts (PutNew), so appends never evict hot inflated blocks; a
+	// merge swaps the data file and clears it explicitly.
+	blockCache map[int64][]blockEntry
+	cacheOrder []int64 // LRU order, oldest first
+
+	summary *census.Summary // cached aggregate; nil after writes
+}
+
+// blockEntry is one inflated entry: its index and raw JSON line
+// (newline excluded).
+type blockEntry struct {
+	idx  uint64
+	line []byte
+}
+
+// Create initializes an empty store for an n-process census in dir
+// (created if needed). Fails if dir already holds a store.
+func Create(dir string, n int) (*Store, error) {
+	if n < 1 || n > 6 {
+		return nil, fmt.Errorf("store: n must be in [1,6], got %d", n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("store: %s already holds a store", dir)
+	}
+	s := &Store{
+		dir: dir,
+		man: manifest{
+			Version:    formatVersion,
+			N:          n,
+			Generation: 1,
+			DataFile:   dataFileName(1),
+		},
+		blockCache: make(map[int64][]blockEntry),
+	}
+	f, err := os.OpenFile(filepath.Join(dir, s.man.DataFile), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.data = f
+	if err := s.writeManifestLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open opens an existing store, validating its manifest and truncating
+// any unreferenced appended tail a crash may have left behind.
+func Open(dir string) (*Store, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	var man manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("%w: parse manifest: %v", ErrCorrupt, err)
+	}
+	if man.Version != formatVersion {
+		return nil, fmt.Errorf("%w: manifest version %d, want %d", ErrCorrupt, man.Version, formatVersion)
+	}
+	if man.N < 1 || man.N > 6 {
+		return nil, fmt.Errorf("%w: manifest n=%d", ErrCorrupt, man.N)
+	}
+	s := &Store{dir: dir, man: man, blockCache: make(map[int64][]blockEntry)}
+	s.reindexLocked()
+	f, err := os.OpenFile(filepath.Join(dir, man.DataFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < s.dataEnd {
+		f.Close()
+		return nil, fmt.Errorf("%w: data file %s is %d bytes, manifest references %d",
+			ErrCorrupt, man.DataFile, st.Size(), s.dataEnd)
+	}
+	if st.Size() > s.dataEnd {
+		// A crash between a block append and its manifest commit leaves
+		// unreferenced bytes; drop them so the next append lands at the
+		// manifest's horizon.
+		if err := f.Truncate(s.dataEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	s.data = f
+	return s, nil
+}
+
+// OpenOrCreate opens the store in dir, creating an empty n-process one
+// when none exists. An existing store must match n.
+func OpenOrCreate(dir string, n int) (*Store, error) {
+	s, err := Open(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return Create(dir, n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.man.N != n {
+		s.Close()
+		return nil, fmt.Errorf("store: %s holds an n=%d store, want n=%d", dir, s.man.N, n)
+	}
+	return s, nil
+}
+
+// Close releases the data file handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		return nil
+	}
+	err := s.data.Close()
+	s.data = nil
+	return err
+}
+
+// N returns the system size of the census the store holds.
+func (s *Store) N() int {
+	return s.man.N
+}
+
+// Orbits reports whether the store holds orbit-reduced entries
+// (canonical representatives weighted by orbit size).
+func (s *Store) Orbits() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.EntryKind == kindOrbit
+}
+
+// SolveMode reports whether the store holds solve-mode sweep results.
+func (s *Store) SolveMode() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.Solve
+}
+
+// Stats describes a store's physical shape.
+type Stats struct {
+	N          int    `json:"n"`
+	Entries    uint64 `json:"entries"`
+	Blocks     int    `json:"blocks"`
+	Bytes      int64  `json:"bytes"` // compressed block bytes
+	Generation int    `json:"generation"`
+	Orbits     bool   `json:"orbits,omitempty"`
+}
+
+// Stats returns the store's entry/block/byte counts.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		N:          s.man.N,
+		Blocks:     len(s.man.Blocks),
+		Generation: s.man.Generation,
+		Orbits:     s.man.EntryKind == kindOrbit,
+	}
+	for _, b := range s.man.Blocks {
+		st.Entries += uint64(b.Entries)
+		st.Bytes += b.Size
+	}
+	return st
+}
+
+// reindexLocked rebuilds the derived lookup state after the manifest
+// changes. The offset-keyed block cache survives (appends leave block
+// data in place); dropCacheLocked handles data-file swaps. Callers
+// hold s.mu (or own the store exclusively).
+func (s *Store) reindexLocked() {
+	s.prefixMaxLast = s.prefixMaxLast[:0]
+	s.dataEnd = 0
+	var max uint64
+	for _, b := range s.man.Blocks {
+		if b.Last > max {
+			max = b.Last
+		}
+		s.prefixMaxLast = append(s.prefixMaxLast, max)
+		if end := b.Offset + b.Size; end > s.dataEnd {
+			s.dataEnd = end
+		}
+	}
+	s.summary = nil
+}
+
+// dropCacheLocked empties the inflated-block cache — required whenever
+// the data file itself is replaced (merge generations), where offsets
+// name different bytes. Callers hold s.mu.
+func (s *Store) dropCacheLocked() {
+	s.blockCache = make(map[int64][]blockEntry)
+	s.cacheOrder = s.cacheOrder[:0]
+}
+
+// Get returns the entry stored for the exact enumeration index, if any.
+func (s *Store) Get(idx uint64) (*census.Entry, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	line, ok, err := s.getRawLocked(idx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	var e census.Entry
+	if err := json.Unmarshal(line, &e); err != nil {
+		return nil, false, fmt.Errorf("%w: entry %d: %v", ErrCorrupt, idx, err)
+	}
+	return &e, true, nil
+}
+
+// getRawLocked finds the raw JSON line of idx. Callers hold s.mu.
+func (s *Store) getRawLocked(idx uint64) ([]byte, bool, error) {
+	blocks := s.man.Blocks
+	// i = first block with First > idx; candidates are to its left.
+	i := sort.Search(len(blocks), func(j int) bool { return blocks[j].First > idx })
+	for j := i - 1; j >= 0 && s.prefixMaxLast[j] >= idx; j-- {
+		if blocks[j].Last < idx {
+			continue
+		}
+		entries, err := s.blockEntriesLocked(j)
+		if err != nil {
+			return nil, false, err
+		}
+		k := sort.Search(len(entries), func(m int) bool { return entries[m].idx >= idx })
+		if k < len(entries) && entries[k].idx == idx {
+			return entries[k].line, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// blockEntriesLocked inflates block j through the LRU cache (keyed by
+// the block's data-file offset). Callers hold s.mu.
+func (s *Store) blockEntriesLocked(j int) ([]blockEntry, error) {
+	key := s.man.Blocks[j].Offset
+	if entries, ok := s.blockCache[key]; ok {
+		s.touchBlockLocked(key)
+		return entries, nil
+	}
+	entries, err := s.readBlockLocked(s.man.Blocks[j])
+	if err != nil {
+		return nil, err
+	}
+	s.blockCache[key] = entries
+	s.cacheOrder = append(s.cacheOrder, key)
+	if len(s.cacheOrder) > blockCacheSize {
+		evict := s.cacheOrder[0]
+		s.cacheOrder = s.cacheOrder[1:]
+		delete(s.blockCache, evict)
+	}
+	return entries, nil
+}
+
+func (s *Store) touchBlockLocked(key int64) {
+	for i, b := range s.cacheOrder {
+		if b == key {
+			s.cacheOrder = append(append(s.cacheOrder[:i:i], s.cacheOrder[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// readBlockLocked reads, checks and inflates one block from the data
+// file. Callers hold s.mu.
+func (s *Store) readBlockLocked(b blockMeta) ([]blockEntry, error) {
+	if s.data == nil {
+		return nil, errors.New("store: closed")
+	}
+	comp := make([]byte, b.Size)
+	if _, err := s.data.ReadAt(comp, b.Offset); err != nil {
+		return nil, fmt.Errorf("%w: read block at %d: %v", ErrCorrupt, b.Offset, err)
+	}
+	if crc := crc32.ChecksumIEEE(comp); crc != b.CRC {
+		return nil, fmt.Errorf("%w: block at %d: crc %08x, manifest %08x", ErrCorrupt, b.Offset, crc, b.CRC)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		return nil, fmt.Errorf("%w: block at %d: %v", ErrCorrupt, b.Offset, err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: block at %d: %v", ErrCorrupt, b.Offset, err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("%w: block at %d: %v", ErrCorrupt, b.Offset, err)
+	}
+	entries := make([]blockEntry, 0, b.Entries)
+	for _, line := range bytes.Split(raw, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		idx, err := entryIndex(line)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block at %d: %v", ErrCorrupt, b.Offset, err)
+		}
+		entries = append(entries, blockEntry{idx: idx, line: line})
+	}
+	if len(entries) != b.Entries {
+		return nil, fmt.Errorf("%w: block at %d holds %d entries, manifest says %d",
+			ErrCorrupt, b.Offset, len(entries), b.Entries)
+	}
+	return entries, nil
+}
+
+// entryIndex extracts the enumeration index from a census JSON line.
+func entryIndex(line []byte) (uint64, error) {
+	var e struct {
+		Index uint64 `json:"index"`
+	}
+	if err := json.Unmarshal(line, &e); err != nil {
+		return 0, err
+	}
+	return e.Index, nil
+}
+
+// LookupSource reports how a Lookup resolved.
+type LookupSource int
+
+const (
+	// LookupMiss: neither the index nor its orbit representative is
+	// stored.
+	LookupMiss LookupSource = iota
+	// LookupDirect: the index itself is stored.
+	LookupDirect
+	// LookupRehydrated: the orbit's canonical representative is stored
+	// and the entry was rehydrated for the queried index via Permute.
+	LookupRehydrated
+)
+
+// Lookup resolves an enumeration index orbit-aware: a direct hit wins;
+// otherwise the index's canonical representative (orbits must be the
+// store's n) is fetched and rehydrated for the queried index. The
+// rehydrated entry is exactly what a full sweep would have recorded for
+// that index: identity fields recomputed through Permute, invariant
+// classification and solvability fields carried over, no orbit size.
+func (s *Store) Lookup(idx uint64, orbits *adversary.Orbits) (*census.Entry, LookupSource, error) {
+	if e, ok, err := s.Get(idx); err != nil {
+		return nil, LookupMiss, err
+	} else if ok {
+		return e, LookupDirect, nil
+	}
+	if orbits == nil {
+		return nil, LookupMiss, nil
+	}
+	canon, _ := orbits.Canonical(idx)
+	if canon == idx {
+		return nil, LookupMiss, nil
+	}
+	ce, ok, err := s.Get(canon)
+	if err != nil || !ok {
+		return nil, LookupMiss, err
+	}
+	e, err := Rehydrate(s.man.N, ce, idx, orbits)
+	if err != nil {
+		return nil, LookupMiss, err
+	}
+	return e, LookupRehydrated, nil
+}
+
+// Rehydrate maps a stored canonical-representative entry onto another
+// index of its orbit: the adversary is rebuilt by renaming the
+// representative's processes (Adversary.Permute), the identity fields
+// (index, printed form, live-set masks) are recomputed from it, and
+// every class- and solvability-invariant field is carried over. The
+// result equals the entry a full sweep computes directly for idx.
+func Rehydrate(n int, canonical *census.Entry, idx uint64, orbits *adversary.Orbits) (*census.Entry, error) {
+	perm, ok := orbits.PermutationBetween(canonical.Index, idx)
+	if !ok {
+		return nil, fmt.Errorf("store: index %d is not in the orbit of %d", idx, canonical.Index)
+	}
+	a := adversary.AdversaryAt(n, canonical.Index).Permute(perm)
+	if got := adversary.EnumerationIndex(a); got != idx {
+		return nil, fmt.Errorf("store: rehydration of %d via %d landed on %d", idx, canonical.Index, got)
+	}
+	e := canonical.Clone()
+	e.Index = idx
+	e.Adversary = a.String()
+	live := a.LiveSets()
+	masks := make([]uint32, len(live))
+	for i, ls := range live {
+		masks[i] = uint32(ls)
+	}
+	e.LiveSetMasks = masks
+	// A direct full-sweep entry carries no orbit size; neither does a
+	// rehydrated one.
+	e.OrbitSize = 0
+	return e, nil
+}
+
+// PutNew appends one entry — the write-back path of the serving layer's
+// live-computation fallback. The append is durable before the manifest
+// commits, an entry already stored under the same index is left alone
+// (reported as added=false; differing bytes are a conflict), and the
+// entry's kind (orbit-weighted or plain) must match the store's.
+func (s *Store) PutNew(e *census.Entry) (added bool, err error) {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		return false, errors.New("store: closed")
+	}
+	if err := s.admitKindLocked(e.OrbitSize > 0); err != nil {
+		return false, err
+	}
+	if e.Solved {
+		s.man.Solve = true
+	}
+	if prev, ok, err := s.getRawLocked(e.Index); err != nil {
+		return false, err
+	} else if ok {
+		if !bytes.Equal(prev, line) {
+			return false, fmt.Errorf("%w: index %d", ErrConflict, e.Index)
+		}
+		return false, nil
+	}
+	meta, err := appendBlock(s.data, s.dataEnd, [][]byte{line}, e.Index, e.Index)
+	if err != nil {
+		return false, err
+	}
+	if err := s.data.Sync(); err != nil {
+		return false, err
+	}
+	// Insert sorted by First so binary search keeps working.
+	at := sort.Search(len(s.man.Blocks), func(j int) bool { return s.man.Blocks[j].First > meta.First })
+	s.man.Blocks = append(s.man.Blocks, blockMeta{})
+	copy(s.man.Blocks[at+1:], s.man.Blocks[at:])
+	s.man.Blocks[at] = meta
+	if err := s.writeManifestLocked(); err != nil {
+		return false, err
+	}
+	s.reindexLocked()
+	return true, nil
+}
+
+// admitKindLocked commits the store to the entry kind on first write
+// and rejects mixing afterwards. Callers hold s.mu.
+func (s *Store) admitKindLocked(orbit bool) error {
+	kind := kindFull
+	if orbit {
+		kind = kindOrbit
+	}
+	switch s.man.EntryKind {
+	case kindUnknown:
+		s.man.EntryKind = kind
+		return nil
+	case kind:
+		return nil
+	default:
+		return fmt.Errorf("%w: store holds %s entries, got a %s one",
+			ErrKindMismatch, s.man.EntryKind, kind)
+	}
+}
+
+// appendBlock compresses lines into one block at the given offset of f.
+func appendBlock(f *os.File, off int64, lines [][]byte, first, last uint64) (blockMeta, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	for _, line := range lines {
+		if _, err := zw.Write(append(line, '\n')); err != nil {
+			return blockMeta{}, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return blockMeta{}, err
+	}
+	if _, err := f.WriteAt(buf.Bytes(), off); err != nil {
+		return blockMeta{}, err
+	}
+	return blockMeta{
+		First:   first,
+		Last:    last,
+		Entries: len(lines),
+		Offset:  off,
+		Size:    int64(buf.Len()),
+		CRC:     crc32.ChecksumIEEE(buf.Bytes()),
+	}, nil
+}
+
+// writeManifestLocked persists the manifest atomically (tmp file,
+// sync, rename). Callers hold s.mu (or own the store exclusively).
+func (s *Store) writeManifestLocked() error {
+	b, err := json.MarshalIndent(&s.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(s.dir, manifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(s.dir, manifestName))
+}
+
+func dataFileName(gen int) string {
+	return fmt.Sprintf("blocks-%06d.dat", gen)
+}
+
+// Summary aggregates every stored entry through census.Summary
+// aggregation: orbit stores report full-domain totals (each canonical
+// representative weighted by its orbit size), full stores report plain
+// counts over what is stored. Cached until the next write.
+func (s *Store) Summary() (census.Summary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.summary != nil {
+		return *s.summary, nil
+	}
+	sum := census.NewSummary(s.man.N)
+	for j := range s.man.Blocks {
+		entries, err := s.blockEntriesLocked(j)
+		if err != nil {
+			return census.Summary{}, err
+		}
+		for _, be := range entries {
+			var e census.Entry
+			if err := json.Unmarshal(be.line, &e); err != nil {
+				return census.Summary{}, fmt.Errorf("%w: entry %d: %v", ErrCorrupt, be.idx, err)
+			}
+			sum.Accumulate(&e)
+		}
+	}
+	s.summary = &sum
+	return sum, nil
+}
