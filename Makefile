@@ -4,7 +4,7 @@ GO ?= go
 PKG ?= ./...
 
 # Hot paths gated by the CI bench-track job (>20% ns/op regressions fail).
-BENCH_TRACK ?= ApplyAffine|Solve|Census
+BENCH_TRACK ?= ApplyAffine|Solve|Census|Orbit
 
 .PHONY: all build test race bench bench-track fmt vet ci
 

@@ -138,6 +138,79 @@ func BenchmarkCensusStream(b *testing.B) {
 	})
 }
 
+// BenchmarkOrbitEnumerate prices canonical-representative enumeration:
+// the stabilizer-aware generator (lex-leader pruning DFS, cost
+// output-sensitive in the number of orbits) against the filter-based
+// reference scan that visits every raw index. n=4 covers the full
+// domain; at n=5 both sweep the same mid-domain raw window of 2^18
+// indices — the regime where the filter pays n!·(bits/8) table reads
+// per skipped index while the generator jumps straight between the
+// canonical representatives.
+func BenchmarkOrbitEnumerate(b *testing.B) {
+	o4 := adversary.NewOrbits(4)
+	o5 := adversary.NewOrbits(5)
+	const n5lo, n5hi = uint64(1)<<30 + 12345, uint64(1)<<30 + 12345 + 1<<18
+	count := func(b *testing.B, want uint64, enumerate func(f func(idx, size uint64) bool)) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			var reps uint64
+			enumerate(func(idx, size uint64) bool {
+				reps++
+				return true
+			})
+			if reps != want {
+				b.Fatalf("enumerated %d representatives, want %d", reps, want)
+			}
+		}
+	}
+	// The n=4 domain holds 1992 orbits; the n=5 window was counted once
+	// by both paths (they are pinned equal by the adversary tests).
+	var n5want uint64
+	o5.ForEachCanonicalFrom(n5lo, func(idx, size uint64) bool {
+		if idx >= n5hi {
+			return false
+		}
+		n5want++
+		return true
+	})
+	b.Run("generator/n=4", func(b *testing.B) {
+		count(b, 1992, func(f func(idx, size uint64) bool) {
+			o4.ForEachCanonicalFrom(0, f)
+		})
+	})
+	b.Run("filter/n=4", func(b *testing.B) {
+		count(b, 1992, func(f func(idx, size uint64) bool) {
+			o4.ForEachRepresentative(f)
+		})
+	})
+	b.Run("generator/n=5-window", func(b *testing.B) {
+		count(b, n5want, func(f func(idx, size uint64) bool) {
+			o5.ForEachCanonicalFrom(n5lo, func(idx, size uint64) bool {
+				if idx >= n5hi {
+					return false
+				}
+				return f(idx, size)
+			})
+		})
+	})
+	b.Run("filter/n=5-window", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("full-scan reference window is seconds per op; run without -short")
+		}
+		count(b, n5want, func(f func(idx, size uint64) bool) {
+			for idx := n5lo; idx < n5hi; idx++ {
+				canon, size := o5.Canonical(idx)
+				if canon != idx {
+					continue
+				}
+				if !f(idx, size) {
+					return
+				}
+			}
+		})
+	})
+}
+
 // BenchmarkSolveTowerEviction measures the tower cache under a byte
 // budget: three distinct R_A towers cycled through a budget that holds
 // roughly one, so every acquire rebuilds (the eviction worst case),

@@ -114,7 +114,7 @@ subcommands:
              [-maxindices I] [-budget D] [-cachemb M]
                                             parallel adversary census
                                             (streaming, checkpointable,
-                                            orbit symmetry reduction)
+                                            canonical-orbit enumeration)
   merge      -n N -store DIR SHARD...       merge census JSONL shards
                                             into an indexed store
   serve      -store DIR [-addr A] [flags]   HTTP query layer over a store
@@ -304,7 +304,7 @@ func cmdCensus(args []string) error {
 	verify := fs.Bool("verify", false, "independently re-verify every witness map (-solve)")
 	stats := fs.Bool("stats", false, "print tower-cache statistics to stderr (requires -solve)")
 	progress := fs.Bool("progress", false, "report shard progress to stderr")
-	orbits := fs.Bool("orbits", false, "sweep one representative per color-permutation orbit (same totals, up to n! fewer adversaries)")
+	orbits := fs.Bool("orbits", false, "sweep one representative per color-permutation orbit via the stabilizer-aware canonical enumerator (same totals, up to n! fewer adversaries, cost scales with orbits not domain)")
 	out := fs.String("out", "", "stream entries as JSON lines to this file (bounded memory; no domain cap)")
 	compress := fs.Bool("compress", false, "gzip the -out stream (automatic for .gz paths; resume-safe)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint sidecar path (periodic atomic frontier records)")

@@ -93,7 +93,11 @@ type (
 	// CensusServeOptions tune the query layer.
 	CensusServeOptions = store.ServerOptions
 	// AdversaryOrbits enumerates color-permutation orbits of the census
-	// domain (the -orbits symmetry reduction).
+	// domain (the -orbits symmetry reduction). Its
+	// ForEachCanonicalFrom generator walks canonical representatives
+	// directly — output-sensitive in the number of orbits — and is what
+	// drives orbit-mode census sweeps; ForEachRepresentative is the
+	// filter-based reference scan.
 	AdversaryOrbits = adversary.Orbits
 	// AlgOneReport aggregates an Algorithm 1 verification campaign.
 	AlgOneReport = core.AlgOneReport

@@ -1,0 +1,152 @@
+package adversary
+
+// Stabilizer-aware canonical orbit enumeration.
+//
+// The filter-based sweep (ForEachRepresentative) visits every
+// enumeration index and pays an n!·(bits/8) table-read scan to reject
+// the non-canonical bulk — at n=5 that is 2^31 visits for ~2^24
+// canonical representatives, and the nightly campaign spends most of
+// its wall clock on indices it then discards. The generator below jumps
+// between canonical indices directly: a DFS over the domain bit
+// positions, most significant first, that extends a partial index
+// bit-by-bit and prunes any branch where some permutation's partial
+// image is already lexicographically below the partial index — the
+// lex-leader pruning of symmetry-reduced model checking and
+// nauty-style canonical-form search. Its cost is output-sensitive in
+// the number of surviving prefixes, not the domain size.
+//
+// Per DFS node the comparison against every still-active permutation is
+// word-level: with the top bits of the index fixed, the image bits that
+// are already determined are exactly the images of the fixed positions,
+// so one table-remap of the partial value plus one precomputed mask
+// per (permutation, depth) decides — in O(bits/8) reads — whether the
+// permutation (a) proves the prefix non-canonical (image < index:
+// prune), (b) can never reject any completion (image > index: drop it
+// for the whole subtree), or (c) is still undecided. Once every
+// non-identity permutation is dropped, the whole subtree is canonical
+// with trivial stabilizer and is emitted without further scans. At a
+// leaf the permutations still active are exactly the stabilizer, so the
+// orbit size (n!/|stabilizer|, by orbit–stabilizer) falls out of the
+// same pass that proved canonicality.
+
+import "math/bits"
+
+// ForEachCanonicalFrom calls f for every canonical orbit representative
+// with enumeration index >= start, in increasing index order, together
+// with the orbit's size. Stops early when f returns false. Unlike
+// ForEachRepresentative it never visits the non-canonical bulk between
+// representatives, so its cost scales with the number of orbits, not
+// the domain — the difference between 2^24 and 2^31·n! at n=5.
+//
+// Starting mid-domain (any raw index, canonical or not) is exact: the
+// DFS descends directly to the first canonical index >= start, which is
+// what lets a resumed census campaign continue from a checkpoint
+// frontier recorded by the filter-based path.
+func (o *Orbits) ForEachCanonicalFrom(start uint64, f func(idx, size uint64) bool) {
+	total := CensusSize(o.n)
+	if start >= total {
+		return
+	}
+	bitsN := o.domainBits
+	nPerms := uint64(o.nPerms)
+
+	// Active-permutation arena: one scratch slice per depth, reused —
+	// only one child per level is alive on the DFS path at a time.
+	active := make([][]int32, bitsN+1)
+	root := make([]int32, 0, o.nPerms-1)
+	for p := 1; p < o.nPerms; p++ {
+		root = append(root, int32(p))
+	}
+	active[0] = root
+	for t := 1; t <= bitsN; t++ {
+		active[t] = make([]int32, 0, o.nPerms-1)
+	}
+
+	// rec extends the partial index `value` (top t bits fixed) by the
+	// next lower position. Returns false to abort the whole walk.
+	var rec func(value uint64, t int, act []int32) bool
+	rec = func(value uint64, t int, act []int32) bool {
+		if len(act) == 0 {
+			// Every non-identity permutation maps every completion of
+			// this prefix strictly above it: the whole subtree is
+			// canonical with trivial stabilizer. Emit it in order.
+			rem := uint(bitsN - t)
+			w := uint64(0)
+			if start > value {
+				w = start - value // value's low bits are zero
+			}
+			for ; w < uint64(1)<<rem; w++ {
+				if !f(value|w, nPerms) {
+					return false
+				}
+			}
+			return true
+		}
+		if t == bitsN {
+			// Leaf: the permutations still active compare equal on the
+			// full word — they are the stabilizer of this index.
+			return f(value, nPerms/uint64(1+len(act)))
+		}
+		cur := uint(bitsN - 1 - t)
+		lowMask := (uint64(1) << cur) - 1
+		defMask := o.canonDefMasks[t+1]
+		for b := uint64(0); b <= 1; b++ {
+			v := value | b<<cur
+			if v|lowMask < start {
+				continue // entire subtree below the seek point
+			}
+			child := active[t+1][:0]
+			pruned := false
+			for _, p := range act {
+				imgVal := o.Image(v, int(p))
+				imgDef := o.canonImgDefs[p][t+1]
+				unknown := defMask &^ imgDef
+				pending := ((imgVal ^ v) & defMask & imgDef) | unknown
+				if pending == 0 {
+					child = append(child, p) // equal so far, undecided
+					continue
+				}
+				top := uint64(1) << uint(63-bits.LeadingZeros64(pending))
+				switch {
+				case unknown&top != 0:
+					child = append(child, p) // stalled on an unset low bit
+				case v&top != 0:
+					pruned = true // image < index for every completion
+				default:
+					// image > index for every completion: drop.
+				}
+				if pruned {
+					break
+				}
+			}
+			if pruned {
+				continue
+			}
+			if !rec(v, t+1, child) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0, active[0])
+}
+
+// initCanonTables precomputes, per permutation and DFS depth, the mask
+// of image bit positions determined when the top `depth` index bits are
+// fixed — the image of the fixed-position mask. Called from NewOrbits;
+// nPerms·(bits+1) words (~30 KiB at n=5).
+func (o *Orbits) initCanonTables() {
+	bitsN := o.domainBits
+	o.canonDefMasks = make([]uint64, bitsN+1)
+	for t := 1; t <= bitsN; t++ {
+		o.canonDefMasks[t] = ((uint64(1) << uint(t)) - 1) << uint(bitsN-t)
+	}
+	o.canonImgDefs = make([][]uint64, o.nPerms)
+	for p := 0; p < o.nPerms; p++ {
+		defs := make([]uint64, bitsN+1)
+		for t := 1; t <= bitsN; t++ {
+			defs[t] = o.Image(o.canonDefMasks[t], p)
+		}
+		o.canonImgDefs[p] = defs
+	}
+}

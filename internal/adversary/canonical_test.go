@@ -1,0 +1,126 @@
+package adversary
+
+import (
+	"testing"
+)
+
+type rep struct{ idx, size uint64 }
+
+func collectFilter(o *Orbits, start, limit uint64) []rep {
+	var out []rep
+	total := CensusSize(o.N())
+	if limit > total {
+		limit = total
+	}
+	for idx := start; idx < limit; idx++ {
+		if size, ok := o.selfCanonical(idx); ok {
+			out = append(out, rep{idx, size})
+		}
+	}
+	return out
+}
+
+func collectGenerator(o *Orbits, start, limit uint64) []rep {
+	var out []rep
+	o.ForEachCanonicalFrom(start, func(idx, size uint64) bool {
+		if idx >= limit {
+			return false
+		}
+		out = append(out, rep{idx, size})
+		return true
+	})
+	return out
+}
+
+func sameReps(t *testing.T, label string, got, want []rep) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d representatives, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: representative %d is (%d,%d), want (%d,%d)",
+				label, i, got[i].idx, got[i].size, want[i].idx, want[i].size)
+		}
+	}
+}
+
+// TestCanonicalGeneratorMatchesFilter pins the stabilizer-aware DFS
+// byte-identical to the filter-based reference scan over the full n<=4
+// domains: same representatives, same order, same orbit sizes.
+func TestCanonicalGeneratorMatchesFilter(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		o := NewOrbits(n)
+		total := CensusSize(n)
+		want := collectFilter(o, 0, total)
+		got := collectGenerator(o, 0, total)
+		sameReps(t, "full domain", got, want)
+		var sum uint64
+		for _, r := range got {
+			sum += r.size
+		}
+		if sum != total {
+			t.Fatalf("n=%d: orbit sizes sum to %d, want %d", n, sum, total)
+		}
+		t.Logf("n=%d: %d orbits over %d adversaries", n, len(got), total)
+	}
+}
+
+// TestCanonicalGeneratorSeek checks mid-domain starts are exact: for
+// arbitrary raw starting points (canonical or not, including the raw
+// shard boundaries a filter-era checkpoint records), the generator's
+// output equals the tail of the full canonical sequence.
+func TestCanonicalGeneratorSeek(t *testing.T) {
+	n := 4
+	o := NewOrbits(n)
+	total := CensusSize(n)
+	for _, start := range []uint64{0, 1, 2, 3, 48, 100, 1000, 4096, 9999, total - 1, total} {
+		want := collectFilter(o, start, total)
+		got := collectGenerator(o, start, total)
+		sameReps(t, "seek", got, want)
+	}
+}
+
+// TestCanonicalGeneratorN5 cross-checks the generator at n=5 against
+// the filter on a sampled prefix and a mid-domain raw window — the full
+// 2^31 domain is exactly what the generator exists to avoid scanning.
+func TestCanonicalGeneratorN5(t *testing.T) {
+	o := NewOrbits(5)
+	// Prefix: the first 4096 raw indices (dense in canonical reps).
+	sameReps(t, "n=5 prefix", collectGenerator(o, 0, 4096), collectFilter(o, 0, 4096))
+	// Mid-domain window, deliberately unaligned.
+	const lo, hi = uint64(1)<<30 + 12345, uint64(1)<<30 + 12345 + 1<<15
+	sameReps(t, "n=5 window", collectGenerator(o, lo, hi), collectFilter(o, lo, hi))
+}
+
+// TestCanonicalGeneratorEarlyStop checks a false return aborts the walk
+// immediately.
+func TestCanonicalGeneratorEarlyStop(t *testing.T) {
+	o := NewOrbits(4)
+	calls := 0
+	o.ForEachCanonicalFrom(0, func(idx, size uint64) bool {
+		calls++
+		return calls < 7
+	})
+	if calls != 7 {
+		t.Fatalf("early stop after %d calls, want 7", calls)
+	}
+}
+
+// TestCanonicalWithWitness checks the one-scan lookup bundle: canon and
+// size agree with Canonical, and the witness permutation maps the
+// representative's adversary onto the queried index.
+func TestCanonicalWithWitness(t *testing.T) {
+	n := 4
+	o := NewOrbits(n)
+	for idx := uint64(0); idx < CensusSize(n); idx += 89 {
+		wantCanon, wantSize := o.Canonical(idx)
+		canon, size, perm := o.CanonicalWithWitness(idx)
+		if canon != wantCanon || size != wantSize {
+			t.Fatalf("idx=%d: (%d,%d), want (%d,%d)", idx, canon, size, wantCanon, wantSize)
+		}
+		if got := EnumerationIndex(AdversaryAt(n, canon).Permute(perm)); got != idx {
+			t.Fatalf("idx=%d: witness permutation lands on %d", idx, got)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package adversary
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/procs"
 )
@@ -42,6 +43,13 @@ type Orbits struct {
 	// v under permutation p: OR-ing the looked-up words of every byte
 	// of an index yields its image index.
 	tables [][][256]uint64
+
+	// Lex-leader DFS state (canonical.go): canonDefMasks[t] is the mask
+	// of the top t bit positions, canonImgDefs[p][t] its image under
+	// permutation p — the image positions already determined when the
+	// top t index bits are fixed.
+	canonDefMasks []uint64
+	canonImgDefs  [][]uint64
 }
 
 // NewOrbits precomputes the orbit tables for the n-process domain.
@@ -51,10 +59,7 @@ func NewOrbits(n int) *Orbits {
 		panic(fmt.Sprintf("adversary: NewOrbits n=%d out of [1,6]", n))
 	}
 	domain := EnumerationDomain(n)
-	posOf := make(map[procs.Set]int, len(domain))
-	for i, s := range domain {
-		posOf[s] = i
-	}
+	posOf := enumerationPos(n)
 	perms := permutations(n)
 	bits := len(domain)
 	nBytes := (bits + 7) / 8
@@ -66,7 +71,7 @@ func NewOrbits(n int) *Orbits {
 		for i, s := range domain {
 			var img procs.Set
 			s.ForEach(func(id procs.ID) { img = img.Add(perm[id]) })
-			posPerm[i] = posOf[img]
+			posPerm[i] = int(posOf[img])
 		}
 		tab := make([][256]uint64, nBytes)
 		for b := 0; b < nBytes; b++ {
@@ -86,6 +91,7 @@ func NewOrbits(n int) *Orbits {
 		}
 		o.tables[p] = tab
 	}
+	o.initCanonTables()
 	return o
 }
 
@@ -158,33 +164,106 @@ func (o *Orbits) PermutationBetween(src, dst uint64) (perm []procs.ID, ok bool) 
 // ForEachRepresentative calls f for every canonical orbit
 // representative of the domain in increasing index order, with the
 // orbit size. Stops early when f returns false.
+//
+// This is the filter-based reference path: it visits every enumeration
+// index and runs one image scan per index (minimality and stabilizer
+// decided together — rejection bails at the first smaller image). The
+// production sweeps use ForEachCanonicalFrom, which never visits the
+// non-canonical bulk; equivalence tests pin the two byte-identical.
 func (o *Orbits) ForEachRepresentative(f func(idx, size uint64) bool) {
 	total := CensusSize(o.n)
 	for idx := uint64(0); idx < total; idx++ {
-		if !o.IsCanonical(idx) {
+		size, ok := o.selfCanonical(idx)
+		if !ok {
 			continue
 		}
-		_, size := o.Canonical(idx)
 		if !f(idx, size) {
 			return
 		}
 	}
 }
 
-// EnumerationIndex is the inverse of AdversaryAt: the index of the
-// adversary in the n-process enumeration order.
-func EnumerationIndex(a *Adversary) uint64 {
-	domain := EnumerationDomain(a.n)
-	posOf := make(map[procs.Set]int, len(domain))
-	for i, s := range domain {
-		posOf[s] = i
+// selfCanonical decides in a single image scan whether idx is its
+// orbit's canonical representative and, when it is, the orbit's size:
+// the first image below idx rejects immediately, otherwise the same
+// pass has counted the stabilizer.
+func (o *Orbits) selfCanonical(idx uint64) (size uint64, ok bool) {
+	stab := uint64(1) // the identity
+	for p := 1; p < o.nPerms; p++ {
+		img := o.Image(idx, p)
+		if img < idx {
+			return 0, false
+		}
+		if img == idx {
+			stab++
+		}
 	}
+	return uint64(o.nPerms) / stab, true
+}
+
+// CanonicalWithWitness returns the canonical representative and size of
+// idx's orbit together with a witness permutation mapping the
+// representative's adversary onto idx's — everything a rehydrating
+// store lookup needs, in one image scan instead of the two full scans
+// of Canonical followed by PermutationBetween. The returned permutation
+// is freshly allocated; callers may retain it.
+func (o *Orbits) CanonicalWithWitness(idx uint64) (canon, size uint64, fromCanon []procs.ID) {
+	canon = idx
+	best := 0
+	stab := uint64(0)
+	for p := 0; p < o.nPerms; p++ {
+		img := o.Image(idx, p)
+		if img < canon {
+			canon, best = img, p
+		}
+		if img == idx {
+			stab++
+		}
+	}
+	// perms[best] renames idx's adversary onto canon's; its inverse
+	// renames canon's back onto idx's.
+	inv := make([]procs.ID, o.n)
+	for i, id := range o.perms[best] {
+		inv[id] = procs.ID(i)
+	}
+	return canon, uint64(o.nPerms) / stab, inv
+}
+
+// EnumerationIndex is the inverse of AdversaryAt: the index of the
+// adversary in the n-process enumeration order. The per-n position
+// table is computed once and shared (this runs per entry in store orbit
+// rehydration under `factool serve`).
+func EnumerationIndex(a *Adversary) uint64 {
+	posOf := enumerationPos(a.n)
 	var idx uint64
 	for _, s := range a.live {
 		idx |= 1 << uint(posOf[s])
 	}
 	return idx
 }
+
+// enumerationPos returns the position of each candidate live set in the
+// n-process enumeration order, indexed by the set's bitmask — the
+// inverse of EnumerationDomain, cached per n with the same lifecycle.
+func enumerationPos(n int) []int16 {
+	if n < 1 || n > 6 {
+		panic(fmt.Sprintf("adversary: enumeration position table n=%d out of [1,6]", n))
+	}
+	posTabOnce[n].Do(func() {
+		domain := EnumerationDomain(n)
+		tab := make([]int16, 1<<uint(n))
+		for i, s := range domain {
+			tab[s] = int16(i)
+		}
+		posTabs[n] = tab
+	})
+	return posTabs[n]
+}
+
+var (
+	posTabOnce [7]sync.Once
+	posTabs    [7][]int16
+)
 
 // Permute returns the adversary with every process p renamed to
 // perm[p]. perm must be a permutation of 0..n−1.

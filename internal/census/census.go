@@ -19,6 +19,15 @@
 // weights the aggregates by orbit size, cutting the swept domain by up
 // to n! while reporting the same totals.
 //
+// Orbit sweeps are driven by the stabilizer-aware canonical generator
+// (adversary.Orbits.ForEachCanonicalFrom): a producer walks the
+// canonical sequence directly — never visiting the non-canonical bulk —
+// and slices it into rank-contiguous blocks of ShardSize
+// representatives, so workers stay load-balanced instead of racing
+// through empty stretches of raw indices. Checkpoints keep recording
+// the raw-index frontier, so sidecars written by the old filter-based
+// path resume unchanged and the output stays byte-identical to it.
+//
 // All solve jobs of one run share a single chromatic.Universe (one Chr²
 // vertex identity space per n) and a single chromatic.TowerCache
 // (iterated subdivisions built once per distinct R_A signature, LRU
@@ -58,7 +67,10 @@ type Options struct {
 	Workers int
 
 	// ShardSize is the number of consecutive enumeration indices one
-	// work unit covers. <= 0 selects a default scaled to the domain.
+	// work unit covers — in orbit mode, the number of consecutive
+	// canonical representatives (ranks in the canonical sequence), so
+	// every work unit carries the same amount of real work. <= 0
+	// selects a default scaled to the domain.
 	ShardSize int
 
 	// Solve additionally decides KTask-set consensus for every fair
@@ -99,6 +111,9 @@ type Options struct {
 	// orbit instead of the whole domain — up to n! fewer adversaries
 	// examined. Emitted entries carry their orbit size and the summary
 	// aggregates are orbit-weighted, so totals equal the full sweep's.
+	// The sweep enumerates canonical representatives directly (the
+	// stabilizer-aware generator), so only they are examined — and only
+	// they are observed by examineHook.
 	Orbits bool
 
 	// Checkpoint, when non-empty, is the sidecar path the run
@@ -304,22 +319,24 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		env.orbits = adversary.NewOrbits(n)
 	}
 
-	// Shard budget of this run: whole domain remainder, optionally
-	// capped by MaxIndices (rounded up to whole shards so the frontier
-	// stays contiguous).
-	shards := (remaining + shardSize - 1) / shardSize
-	if opts.MaxIndices > 0 {
-		if budget := (opts.MaxIndices + shardSize - 1) / shardSize; budget < shards {
-			shards = budget
+	// Shard budget of a full-domain run: whole domain remainder,
+	// optionally capped by MaxIndices (rounded up to whole shards so
+	// the frontier stays contiguous). Orbit runs are fed by the block
+	// producer instead, which enforces MaxIndices itself.
+	var shards uint64
+	if !opts.Orbits {
+		shards = (remaining + shardSize - 1) / shardSize
+		if opts.MaxIndices > 0 {
+			if budget := (opts.MaxIndices + shardSize - 1) / shardSize; budget < shards {
+				shards = budget
+			}
 		}
 	}
 
 	em := &emitter{
 		sink:            sink,
 		sum:             &sum,
-		start:           start,
 		total:           total,
-		shardSize:       shardSize,
 		frontierIdx:     start,
 		emitted:         emitted,
 		parked:          make(map[uint64]parkedShard),
@@ -353,6 +370,20 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		}()
 	}
 
+	// Orbit mode: a dedicated producer runs the stabilizer-aware
+	// canonical generator and slices its output into rank-contiguous
+	// blocks of shardSize representatives; workers claim blocks instead
+	// of raw index ranges. The channel capacity plus the reorder window
+	// bound the prefetched blocks, so memory stays O(workers×ShardSize)
+	// exactly as in the full-domain path.
+	var orbitBlocks chan orbitBlock
+	if env.orbits != nil {
+		orbitBlocks = make(chan orbitBlock, workers*4)
+		prodQuit := make(chan struct{})
+		defer close(prodQuit)
+		go produceOrbitBlocks(env.orbits, orbitBlocks, prodQuit, start, total, shardSize, opts.MaxIndices)
+	}
+
 	var cursor atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -364,49 +395,82 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 				if stop.Load() || em.aborted() {
 					return
 				}
-				s := cursor.Add(1) - 1
-				if s >= shards {
-					return
+				var s uint64
+				var blk orbitBlock
+				if orbitBlocks != nil {
+					b, ok := <-orbitBlocks
+					if !ok {
+						return
+					}
+					blk, s = b, b.seq
+				} else {
+					s = cursor.Add(1) - 1
+					if s >= shards {
+						return
+					}
 				}
 				if !em.waitTurn(s) {
 					return
 				}
-				lo := start + s*shardSize
-				hi := lo + shardSize
-				if hi > total {
-					hi = total
-				}
 				buf = buf[:0]
-				covered := lo
-				for idx := lo; idx < hi; idx++ {
-					// Stop lands between indices, not shards: a solve
-					// shard can take minutes per index, so the shard is
-					// truncated here and delivered short — the reorder
-					// buffer cuts the run off at its boundary.
-					if stop.Load() {
-						break
+				var covered uint64
+				short := false
+				if orbitBlocks != nil {
+					// Stop lands between representatives, not blocks: a
+					// solve job can take minutes per representative, so
+					// the block is truncated here and delivered short —
+					// the reorder buffer cuts the run off at its
+					// boundary. The raw frontier after a truncation is
+					// just past the last examined representative.
+					covered = blk.lo
+					for _, r := range blk.reps {
+						if stop.Load() {
+							short = true
+							break
+						}
+						if opts.examineHook != nil {
+							opts.examineHook(r.idx)
+						}
+						covered = r.idx + 1
+						e, err := env.examine(r.idx)
+						if err != nil {
+							em.fail(err)
+							return
+						}
+						e.OrbitSize = r.size
+						buf = append(buf, e)
 					}
-					if opts.examineHook != nil {
-						opts.examineHook(idx)
+					if !short {
+						covered = blk.hi
 					}
-					covered = idx + 1
-					if env.orbits != nil && !env.orbits.IsCanonical(idx) {
-						continue
+				} else {
+					lo := start + s*shardSize
+					hi := lo + shardSize
+					if hi > total {
+						hi = total
 					}
-					e, err := env.examine(idx)
-					if err != nil {
-						em.fail(err)
-						return
+					covered = lo
+					for idx := lo; idx < hi; idx++ {
+						// Same mid-shard stop as the orbit path above.
+						if stop.Load() {
+							break
+						}
+						if opts.examineHook != nil {
+							opts.examineHook(idx)
+						}
+						covered = idx + 1
+						e, err := env.examine(idx)
+						if err != nil {
+							em.fail(err)
+							return
+						}
+						buf = append(buf, e)
 					}
-					if env.orbits != nil {
-						_, size := env.orbits.Canonical(idx)
-						e.OrbitSize = size
-					}
-					buf = append(buf, e)
+					short = covered < hi
 				}
 				entries := make([]Entry, len(buf))
 				copy(entries, buf)
-				if !em.deliver(s, entries, covered, covered < hi) {
+				if !em.deliver(s, entries, covered, short) {
 					return
 				}
 			}
@@ -453,7 +517,7 @@ type emitter struct {
 	sink Sink
 	sum  *Summary
 
-	start, total, shardSize uint64
+	total uint64
 
 	nextShard   uint64                 // next shard to emit
 	frontierIdx uint64                 // first unswept enumeration index
@@ -478,12 +542,79 @@ type emitter struct {
 }
 
 // parkedShard is one completed shard awaiting its turn: its entries,
-// the first index it did NOT cover, and whether a stop truncated it
-// before its nominal end.
+// the first raw index it did NOT cover, and whether a stop truncated
+// it before its nominal end.
 type parkedShard struct {
 	entries []Entry
 	hi      uint64
 	short   bool
+}
+
+// canonRep is one canonical orbit representative with its orbit size,
+// as emitted by the stabilizer-aware generator.
+type canonRep struct{ idx, size uint64 }
+
+// orbitBlock is one orbit-mode work unit: a rank-contiguous slice of
+// the canonical sequence (shardSize representatives, except the last),
+// plus the raw index range [lo, hi) it accounts for — every canonical
+// index in that range is in reps, so hi is the raw frontier once the
+// block is emitted.
+type orbitBlock struct {
+	seq  uint64
+	reps []canonRep
+	lo   uint64
+	hi   uint64
+}
+
+// produceOrbitBlocks walks the canonical sequence from the resume
+// frontier and slices it into rank blocks, with the channel send as
+// backpressure (capacity + reorder window bound prefetch). MaxIndices
+// budgets the sweep in raw enumeration indices, exactly like the
+// full-domain path: the walk ends at the first representative at or
+// beyond start+maxIndices and the final block's hi lands on that
+// boundary, so the checkpointed frontier covers every skipped
+// non-canonical index below it. quit unblocks the producer when the
+// run winds down early (stop, budget, failure).
+func produceOrbitBlocks(o *adversary.Orbits, out chan<- orbitBlock, quit <-chan struct{}, start, total, shardSize, maxIndices uint64) {
+	defer close(out)
+	limit := total
+	// Overflow-safe: start+maxIndices can wrap on an "effectively
+	// unlimited" budget, and a wrapped limit below start would regress
+	// the frontier under already-emitted output.
+	if maxIndices > 0 && maxIndices < total-start {
+		limit = start + maxIndices
+	}
+	blk := orbitBlock{lo: start}
+	aborted := false
+	o.ForEachCanonicalFrom(start, func(idx, size uint64) bool {
+		if idx >= limit {
+			return false
+		}
+		blk.reps = append(blk.reps, canonRep{idx: idx, size: size})
+		if uint64(len(blk.reps)) < shardSize {
+			return true
+		}
+		blk.hi = idx + 1
+		select {
+		case out <- blk:
+		case <-quit:
+			aborted = true
+			return false
+		}
+		blk = orbitBlock{seq: blk.seq + 1, lo: idx + 1}
+		return true
+	})
+	if aborted {
+		return
+	}
+	// Final (possibly empty) block: advances the raw frontier to the
+	// sweep limit — every canonical representative below it is in a
+	// block, so the non-canonical tail is accounted for.
+	blk.hi = limit
+	select {
+	case out <- blk:
+	case <-quit:
+	}
 }
 
 // waitTurn blocks the worker holding shard s until s is inside the
@@ -544,14 +675,13 @@ func (em *emitter) deliver(s uint64, entries []Entry, hi uint64, short bool) boo
 			em.aggregate(e)
 		}
 		em.nextShard++
+		// Every shard reports the first raw index it did not cover —
+		// the raw-index frontier either way, which is what keeps
+		// checkpoints compatible between full-domain shards and
+		// orbit-mode rank blocks.
+		em.frontierIdx = batch.hi
 		if batch.short {
-			em.frontierIdx = batch.hi
 			em.cutoff = true
-		} else {
-			em.frontierIdx = em.start + em.nextShard*em.shardSize
-			if em.frontierIdx > em.total {
-				em.frontierIdx = em.total
-			}
 		}
 		if em.checkpointPath != "" && em.frontierIdx-em.lastCheckpoint >= em.checkpointEvery {
 			if err := em.writeCheckpointLocked(); err != nil {

@@ -61,9 +61,11 @@ type Collector struct {
 	Entries []Entry
 }
 
-// Emit appends a copy of the entry.
+// Emit appends a deep copy of the entry: the Sink contract only loans
+// the entry for the duration of the call, so a retained shallow copy
+// would alias its slice and pointer fields against the caller's.
 func (c *Collector) Emit(e *Entry) error {
-	c.Entries = append(c.Entries, *e)
+	c.Entries = append(c.Entries, *e.Clone())
 	return nil
 }
 

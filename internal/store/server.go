@@ -232,7 +232,7 @@ func (s *Server) classifyIndex(idx uint64) (*census.Entry, string, error) {
 // entry is always the queried index's own.
 func (s *Server) computeEntry(idx uint64) (respond, persist *census.Entry, err error) {
 	if s.st.Orbits() {
-		canon, size := s.orbits.Canonical(idx)
+		canon, size, perm := s.orbits.CanonicalWithWitness(idx)
 		ce, err := s.classify.Examine(canon)
 		if err != nil {
 			return nil, nil, err
@@ -242,7 +242,7 @@ func (s *Server) computeEntry(idx uint64) (respond, persist *census.Entry, err e
 		if canon == idx {
 			return stripOrbitSize(&ce), persist, nil
 		}
-		respond, err = Rehydrate(s.n, persist, idx, s.orbits)
+		respond, err = rehydrateWith(s.n, persist, idx, perm)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/census"
+	"repro/internal/procs"
 )
 
 const (
@@ -467,7 +468,9 @@ func (s *Store) Lookup(idx uint64, orbits *adversary.Orbits) (*census.Entry, Loo
 	if orbits == nil {
 		return nil, LookupMiss, nil
 	}
-	canon, _ := orbits.Canonical(idx)
+	// One image scan yields the representative and the rehydration
+	// permutation together (no second PermutationBetween scan).
+	canon, _, perm := orbits.CanonicalWithWitness(idx)
 	if canon == idx {
 		return nil, LookupMiss, nil
 	}
@@ -475,7 +478,7 @@ func (s *Store) Lookup(idx uint64, orbits *adversary.Orbits) (*census.Entry, Loo
 	if err != nil || !ok {
 		return nil, LookupMiss, err
 	}
-	e, err := Rehydrate(s.man.N, ce, idx, orbits)
+	e, err := rehydrateWith(s.man.N, ce, idx, perm)
 	if err != nil {
 		return nil, LookupMiss, err
 	}
@@ -493,6 +496,13 @@ func Rehydrate(n int, canonical *census.Entry, idx uint64, orbits *adversary.Orb
 	if !ok {
 		return nil, fmt.Errorf("store: index %d is not in the orbit of %d", idx, canonical.Index)
 	}
+	return rehydrateWith(n, canonical, idx, perm)
+}
+
+// rehydrateWith is Rehydrate with the witness permutation already in
+// hand (the single-scan CanonicalWithWitness path of Lookup and the
+// serving layer).
+func rehydrateWith(n int, canonical *census.Entry, idx uint64, perm []procs.ID) (*census.Entry, error) {
 	a := adversary.AdversaryAt(n, canonical.Index).Permute(perm)
 	if got := adversary.EnumerationIndex(a); got != idx {
 		return nil, fmt.Errorf("store: rehydration of %d via %d landed on %d", idx, canonical.Index, got)
