@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	fact "repro"
@@ -85,6 +86,10 @@ func run(args []string) error {
 		return cmdMerge(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "store":
+		return cmdStore(args[1:])
+	case "loadtest":
+		return cmdLoadtest(args[1:])
 	case "figures":
 		return cmdFigures(args[1:])
 	case "solve":
@@ -117,7 +122,18 @@ subcommands:
                                             canonical-orbit enumeration)
   merge      -n N -store DIR SHARD...       merge census JSONL shards
                                             into an indexed store
-  serve      -store DIR [-addr A] [flags]   HTTP query layer over a store
+  serve      -store DIR... [-stores GLOB] [-addr A] [-apikeys F]
+             [-log-json] [-metrics] [flags] serve the v1 HTTP API over
+                                            every mounted store (one
+                                            process, any number of n)
+  store      verify -store DIR [-spot K]    deep-check a store (CRC walk,
+                                            manifest consistency, orbit
+                                            spot check); exit 1 on
+                                            corruption
+  loadtest   -url URL -n N [-duration D] [-concurrency C] [-slo-p99 D]
+                                            sustained classify/solve load
+                                            against a serve endpoint,
+                                            p50/p90/p99 + SLO check
   figures    -dir DIR                       regenerate figure SVGs
   solve      -n N -kind K [flags] -k K' [-workers W] [-stats]
                                             k-set consensus solvability
@@ -139,8 +155,15 @@ var synopses = map[string]string{
 		"                      [-progress] [-orbits] [-out F.jsonl] [-compress]\n" +
 		"                      [-checkpoint F -resume] [-checkpoint-every I]\n" +
 		"                      [-maxindices I] [-budget D] [-cachemb M]",
-	"merge":    "-n N -store DIR [-block-entries B] [-summary] SHARD.jsonl[.gz]...",
-	"serve":    "-store DIR [-addr HOST:PORT] [-cache-entries E] [-cachemb M] [-rounds L] [-readonly]",
+	"merge": "-n N -store DIR [-block-entries B] [-summary] SHARD.jsonl[.gz]...",
+	"serve": "-store DIR [-store DIR ...] [-stores GLOB] [-addr HOST:PORT]\n" +
+		"                      [-apikeys FILE] [-log-json] [-metrics=false]\n" +
+		"                      [-cache-entries E] [-cachemb M] [-rounds L] [-readonly]\n" +
+		"                      [-no-presence] [-drain-timeout D]",
+	"store verify": "-store DIR [-spot K] [-json]",
+	"loadtest": "-url URL -n N [-duration D] [-concurrency C] [-batch B]\n" +
+		"                      [-solve-frac F] [-batch-frac F] [-ktask K] [-seed S]\n" +
+		"                      [-apikey KEY] [-slo-p99 D] [-json]",
 	"figures":  "-dir DIR",
 	"solve":    "-n N -kind K [-t T] [-k K] -ktask K' [-rounds L] [-workers W] [-stats]",
 	"simulate": "-n N -kind K [-t T] [-k K] [-trials T] [-seed S]",
@@ -463,69 +486,193 @@ func cmdMerge(args []string) error {
 	return nil
 }
 
-// cmdServe answers census queries over HTTP from a store, falling back
-// to live computation (and persisting the answer) on a miss.
+// multiFlag is a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// cmdServe serves the v1 HTTP API over a registry of mounted stores —
+// one process answering every mounted n — with optional API-key auth,
+// Prometheus metrics, structured logging, and graceful drain on
+// SIGINT/SIGTERM.
 func cmdServe(args []string) error {
 	fs := newFlagSet("serve")
-	storeDir := fs.String("store", "", "census store directory (required; see factool merge)")
+	var storeDirs multiFlag
+	fs.Var(&storeDirs, "store", "census store directory to mount (repeatable; see factool merge)")
+	storesGlob := fs.String("stores", "", "glob of store directories to mount (e.g. 'stores/n*')")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	cacheEntries := fs.Int("cache-entries", 4096, "in-memory entry LRU capacity")
-	cacheMB := fs.Int64("cachemb", 0, "tower-cache byte budget in MiB for live solves (0 = unbounded)")
+	cacheEntries := fs.Int("cache-entries", 4096, "per-store in-memory entry LRU capacity")
+	cacheMB := fs.Int64("cachemb", 0, "tower-cache byte budget in MiB for live solves, shared by all mounts (0 = unbounded)")
 	rounds := fs.Int("rounds", 1, "default maximum iterations of R_A for /v1/solve")
-	readonly := fs.Bool("readonly", false, "do not persist live-computed answers to the store")
+	readonly := fs.Bool("readonly", false, "do not persist live-computed answers to the stores")
+	apikeys := fs.String("apikeys", "", "API-key file (name:key[:rate[:burst]] lines); enables 401/429 auth")
+	metricsOn := fs.Bool("metrics", true, "expose the Prometheus /metrics endpoint")
+	logJSON := fs.Bool("log-json", false, "structured JSON request log on stderr")
+	noPresence := fs.Bool("no-presence", false, "skip building per-store presence filters at startup")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "in-flight request budget during graceful shutdown")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	if *storeDir == "" {
-		return usagef(fs, "serve: -store is required")
+	dirs := []string(storeDirs)
+	if *storesGlob != "" {
+		matches, err := filepath.Glob(*storesGlob)
+		if err != nil {
+			return usagef(fs, "serve: bad -stores glob: %v", err)
+		}
+		for _, m := range matches {
+			if _, err := os.Stat(filepath.Join(m, "MANIFEST.json")); err == nil {
+				dirs = append(dirs, m)
+			}
+		}
 	}
-	st, err := fact.OpenCensusStore(*storeDir)
-	if err != nil {
-		return err
+	if len(dirs) == 0 {
+		return usagef(fs, "serve: at least one -store (or a matching -stores glob) is required")
 	}
-	defer st.Close()
-	srv, err := fact.NewCensusServer(st, fact.CensusServeOptions{
+
+	reg := fact.NewCensusStoreRegistry()
+	defer reg.Close()
+	for _, dir := range dirs {
+		if err := reg.MountDir(dir); err != nil {
+			return err
+		}
+	}
+	opts := fact.CensusServeOptions{
 		CacheEntries: *cacheEntries,
 		CacheBytes:   *cacheMB << 20,
 		MaxRounds:    *rounds,
 		ReadOnly:     *readonly,
-	})
+		SkipPresence: *noPresence,
+	}
+	if *apikeys != "" {
+		auth, err := fact.LoadCensusAPIKeys(*apikeys)
+		if err != nil {
+			return err
+		}
+		opts.Auth = auth
+	}
+	if *logJSON {
+		opts.AccessLog = os.Stderr
+	}
+	srv, err := fact.NewCensusRegistryServer(reg, opts)
 	if err != nil {
 		return err
+	}
+	handler := srv.Handler()
+	if !*metricsOn {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/metrics" {
+				http.NotFound(w, r)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	ss := st.Stats()
-	fmt.Fprintf(os.Stderr, "factool serve: n=%d store %s (%d entries, %d blocks) listening on %s\n",
-		ss.N, *storeDir, ss.Entries, ss.Blocks, ln.Addr())
+	for _, mt := range reg.Mounts() {
+		ss := mt.Store().Stats()
+		fmt.Fprintf(os.Stderr, "factool serve: mounted %s: n=%d, %d entries, %d blocks\n",
+			mt.Name(), ss.N, ss.Entries, ss.Blocks)
+	}
+	fmt.Fprintf(os.Stderr, "factool serve: %d store(s) listening on %s\n", len(dirs), ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
+	return serveUntilSignal(httpSrv, ln, srv, *drainTimeout)
+}
+
+// serveUntilSignal runs the HTTP server until SIGINT or SIGTERM, then
+// drains: readiness flips first (load balancers stop routing), then
+// Shutdown lets in-flight requests finish within the timeout. A second
+// signal force-quits via the default handler.
+func serveUntilSignal(httpSrv *http.Server, ln net.Listener, srv *fact.CensusServer, drainTimeout time.Duration) error {
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() {
 		if _, ok := <-sigc; ok {
-			// Hand SIGINT back to the default handler first, so a second
-			// Ctrl-C during the drain force-quits instead of panicking on
-			// a closed channel.
+			// Hand the signals back to the default handler first, so a
+			// second Ctrl-C during the drain force-quits instead of
+			// panicking on a closed channel.
 			signal.Stop(sigc)
-			fmt.Fprintln(os.Stderr, "factool serve: interrupt — draining connections")
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			fmt.Fprintln(os.Stderr, "factool serve: signal — draining in-flight requests")
+			srv.SetDraining(true)
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 			defer cancel()
 			done <- httpSrv.Shutdown(ctx)
 			return
 		}
 		done <- nil
 	}()
-	err = httpSrv.Serve(ln)
+	err := httpSrv.Serve(ln)
 	signal.Stop(sigc) // no-op when the goroutine already stopped it
 	close(sigc)
 	if !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return <-done
+}
+
+// cmdStore dispatches the store maintenance subcommands.
+func cmdStore(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("store: missing subcommand (want: verify): %w", errBadFlags)
+	}
+	switch args[0] {
+	case "verify":
+		return cmdStoreVerify(args[1:])
+	default:
+		usage()
+		return fmt.Errorf("store: unknown subcommand %q (want: verify): %w", args[0], errBadFlags)
+	}
+}
+
+// cmdStoreVerify deep-checks a store: full CRC/framing walk, manifest
+// consistency, duplicate agreement, kind discipline, and an
+// orbit/classification spot check. Exit 1 on corruption.
+func cmdStoreVerify(args []string) error {
+	fs := newFlagSet("store verify")
+	storeDir := fs.String("store", "", "census store directory (required)")
+	spot := fs.Int("spot", 8, "entries to semantically re-derive (canonicality, orbit size, reclassification)")
+	jsonOut := fs.Bool("json", false, "emit the verification report as JSON on stdout")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return usagef(fs, "store verify: -store is required")
+	}
+	st, err := fact.OpenCensusStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	rep, err := st.Verify(fact.CensusVerifyOptions{SpotChecks: *spot})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Printf("store %s: %d blocks, %d entries (%d unique), %d compressed bytes\n",
+			*storeDir, rep.Blocks, rep.Entries, rep.Unique, rep.Bytes)
+		fmt.Printf("  spot-checked: %d (reclassified from scratch: %d)\n", rep.SpotChecked, rep.Reclassified)
+		for _, p := range rep.Problems {
+			fmt.Printf("  PROBLEM: %s\n", p)
+		}
+	}
+	if !rep.OK() {
+		return fmt.Errorf("store verify: %d problem(s) found in %s", len(rep.Problems), *storeDir)
+	}
+	if !*jsonOut {
+		fmt.Println("  OK: no corruption found")
+	}
+	return nil
 }
 
 // printCensusSummary renders the deterministic human-readable summary

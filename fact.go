@@ -88,10 +88,28 @@ type (
 	CensusMergeOptions = store.MergeOptions
 	// CensusMergeStats report what one merge did.
 	CensusMergeStats = store.MergeStats
-	// CensusServer is the HTTP query layer over a census store.
+	// CensusServer is the HTTP serving layer over a registry of census
+	// stores (one mounted store per n, one process for all of them).
 	CensusServer = store.Server
-	// CensusServeOptions tune the query layer.
+	// CensusServeOptions tune the serving layer (caches, auth, rate
+	// limiting, logging, batch/range caps).
 	CensusServeOptions = store.ServerOptions
+	// CensusStoreRegistry mounts many census stores — one per n — for
+	// a single serving process.
+	CensusStoreRegistry = store.Registry
+	// CensusStoreMount is one store mounted under a registry.
+	CensusStoreMount = store.Mount
+	// CensusAPIKey is one authorized serve-layer key with its rate
+	// budget.
+	CensusAPIKey = store.APIKey
+	// CensusAuthConfig is the serve layer's API-key auth state.
+	CensusAuthConfig = store.AuthConfig
+	// CensusRangePage is one page of a store range scan.
+	CensusRangePage = store.RangePage
+	// CensusVerifyOptions tune a store deep check.
+	CensusVerifyOptions = store.VerifyOptions
+	// CensusVerifyReport is the outcome of a store deep check.
+	CensusVerifyReport = store.VerifyReport
 	// AdversaryOrbits enumerates color-permutation orbits of the census
 	// domain (the -orbits symmetry reduction). Its
 	// ForEachCanonicalFrom generator walks canonical representatives
@@ -156,8 +174,23 @@ var (
 	// RehydrateCensusEntry maps a stored orbit representative's entry
 	// onto another index of its orbit (Adversary.Permute).
 	RehydrateCensusEntry = store.Rehydrate
-	// NewCensusServer builds the HTTP query layer over an open store.
-	NewCensusServer = store.NewServer
+	// NewCensusRegistryServer builds the HTTP serving layer over a
+	// registry of mounted stores.
+	NewCensusRegistryServer = store.NewServer
+	// NewCensusServer builds the serving layer over one open store.
+	//
+	// Deprecated: a one-store shim kept for compatibility — it mounts
+	// the store in a fresh registry. New code should build a
+	// CensusStoreRegistry and use NewCensusRegistryServer.
+	NewCensusServer = store.NewSingleServer
+	// NewCensusStoreRegistry returns an empty store registry.
+	NewCensusStoreRegistry = store.NewRegistry
+	// LoadCensusAPIKeys reads a serve-layer API-key file
+	// (name:key[:rate[:burst]] lines).
+	LoadCensusAPIKeys = store.LoadAPIKeys
+	// NewCensusAuthConfig builds serve-layer auth state from explicit
+	// keys.
+	NewCensusAuthConfig = store.NewAuthConfig
 	// NewAdversaryOrbits precomputes the orbit tables for n processes.
 	NewAdversaryOrbits = adversary.NewOrbits
 	// AdversaryIndex is the inverse of AdversaryAt.

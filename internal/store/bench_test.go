@@ -55,7 +55,7 @@ func BenchmarkCensusStoreLookup(b *testing.B) {
 // (handler, store, LRU) under sequential load.
 func BenchmarkCensusServeClassify(b *testing.B) {
 	st := benchStore(b)
-	srv, err := NewServer(st, ServerOptions{})
+	srv, err := NewSingleServer(st, ServerOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}

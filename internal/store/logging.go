@@ -1,0 +1,60 @@
+package store
+
+// Structured (JSON lines) request logging for the serve layer, plus
+// the request-id plumbing the error envelope reads. One line per
+// request, one Write call per line (safe to point at os.Stderr), no
+// dependencies beyond encoding/json.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+type requestIDKey struct{}
+
+// withRequestID tags a request context with its assigned id.
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestID recovers the id assigned by the middleware ("" outside it).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// accessRecord is one request-log line.
+type accessRecord struct {
+	Time      string  `json:"ts"`
+	Level     string  `json:"level"`
+	Msg       string  `json:"msg"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Query     string  `json:"query,omitempty"`
+	Status    int     `json:"status"`
+	Bytes     int64   `json:"bytes"`
+	DurMs     float64 `json:"dur_ms"`
+	RequestID string  `json:"request_id"`
+	Key       string  `json:"key,omitempty"`
+	Remote    string  `json:"remote,omitempty"`
+}
+
+// accessLogger serializes record writes: concurrent requests never
+// interleave bytes within a line.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *accessLogger) log(rec accessRecord) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+}

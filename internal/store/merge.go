@@ -190,6 +190,7 @@ func (s *Store) Merge(shardPaths []string, opts MergeOptions) (MergeStats, error
 	}
 	s.dropCacheLocked() // offsets now name bytes of the new generation
 	s.reindexLocked()
+	s.presence = nil // entry set changed wholesale; reload to re-arm
 	// Added = growth over what the store already held.
 	var resident uint64
 	for _, b := range oldMan.Blocks {

@@ -1,0 +1,121 @@
+package store
+
+// Registry: many stores, one process. Each census store covers one n
+// (and one kind — full or orbit-reduced); a registry mounts any number
+// of them so a single `factool serve` answers every mounted n from one
+// address. The serving layer routes each query's n parameter to its
+// mount; /v1/stores lists them.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Registry is a set of mounted stores keyed by n. Safe for concurrent
+// use; mounts are add-only (a serving process never unmounts).
+type Registry struct {
+	mu     sync.RWMutex
+	mounts map[int]*Mount
+}
+
+// Mount is one store mounted under a registry.
+type Mount struct {
+	name string
+	st   *Store
+}
+
+// Name returns the mount's display name (the store directory's base
+// name for MountDir, or whatever Mount was given).
+func (m *Mount) Name() string { return m.name }
+
+// N returns the mounted store's system size.
+func (m *Mount) N() int { return m.st.N() }
+
+// Store returns the mounted store.
+func (m *Mount) Store() *Store { return m.st }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{mounts: make(map[int]*Mount)}
+}
+
+// Mount adds an open store under the given display name. One mount per
+// n: a second store of the same n is a configuration error, not a
+// routing choice the server could make per query.
+func (r *Registry) Mount(name string, st *Store) error {
+	if st == nil {
+		return fmt.Errorf("store: mount %q: nil store", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := st.N()
+	if prev, ok := r.mounts[n]; ok {
+		return fmt.Errorf("store: n=%d already mounted as %q", n, prev.name)
+	}
+	if name == "" {
+		name = fmt.Sprintf("n%d", n)
+	}
+	r.mounts[n] = &Mount{name: name, st: st}
+	return nil
+}
+
+// MountDir opens the store in dir and mounts it under the directory's
+// base name.
+func (r *Registry) MountDir(dir string) error {
+	st, err := Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := r.Mount(filepath.Base(filepath.Clean(dir)), st); err != nil {
+		st.Close()
+		return err
+	}
+	return nil
+}
+
+// Get returns the mount serving n.
+func (r *Registry) Get(n int) (*Mount, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.mounts[n]
+	return m, ok
+}
+
+// Mounts returns every mount, sorted by n.
+func (r *Registry) Mounts() []*Mount {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Mount, 0, len(r.mounts))
+	for _, m := range r.mounts {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].N() < out[j].N() })
+	return out
+}
+
+// Ns returns the mounted system sizes, ascending.
+func (r *Registry) Ns() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ns := make([]int, 0, len(r.mounts))
+	for n := range r.mounts {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+// Close closes every mounted store, returning the first error.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, m := range r.mounts {
+		if err := m.st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,43 +1,59 @@
 package store
 
-// The HTTP query layer over a census store: `factool serve`. Queries
-// resolve store-first through an in-memory LRU; a miss falls back to
-// live computation on the census examination path (sharing
-// chromatic.SharedUniverse(n) and a byte-budgeted TowerCache across all
-// requests) and persists the computed answer back to the store, so the
-// store converges toward the queried working set instead of recomputing
-// it per request.
+// The v1 HTTP serving layer over a registry of census stores: one
+// process mounts a store per n and answers the whole API for all of
+// them. Queries resolve store-first through a per-mount entry LRU and
+// presence filter; a miss falls back to live computation on the census
+// examination path (all mounts share one byte-budgeted TowerCache;
+// each mount shares chromatic.SharedUniverse(n)) and persists the
+// computed answer back to its store.
 //
-//	GET /v1/classify?n=N&index=I   one adversary's census entry
-//	GET /v1/summary?n=N            aggregate over the whole store
-//	GET /v1/solve?n=N&index=I&ktask=K[&rounds=L]   live FACT decision
-//	GET /healthz                   liveness + counters
+//	GET  /v1/classify?n=N&index=I       one adversary's census entry
+//	POST /v1/classify                   bulk: {"n":N,"indices":[...]}
+//	GET  /v1/entries?n=N&from=A&to=B    range scan (paginated JSON, or
+//	                                    format=jsonl streaming)
+//	GET  /v1/summary?n=N                aggregate over a mounted store
+//	GET  /v1/solve?n=N&index=I&ktask=K[&rounds=L]  live FACT decision
+//	GET  /v1/stores                     the mounted stores
+//	GET  /healthz                       liveness + counters
+//	GET  /readyz                        readiness (503 while draining)
+//	GET  /metrics                       Prometheus text exposition
 //
-// Handlers are safe for arbitrary concurrency: the store serializes
-// block access internally, the LRU has its own lock, and the live
-// examiner is concurrency-safe by construction.
+// Every response carries an X-Request-Id; errors use one JSON envelope
+//
+//	{"error":{"code":400,"message":"...","request_id":"..."}}
+//
+// while success bodies for /v1/classify entries stay byte-identical to
+// `factool census -json` entries whatever store kind backs them.
+// Optional API-key auth (ServerOptions.Auth) answers 401 for unknown
+// keys and 429 for over-limit ones; /healthz, /readyz and /metrics
+// stay open for probes and scrapers. Handlers are safe for arbitrary
+// concurrency.
 
 import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/census"
 	"repro/internal/chromatic"
 )
 
-// ServerOptions tune the query layer.
+// ServerOptions tune the serving layer.
 type ServerOptions struct {
-	// CacheEntries bounds the in-memory entry LRU. <= 0 selects 4096.
+	// CacheEntries bounds each mount's in-memory entry LRU. <= 0
+	// selects 4096.
 	CacheEntries int
 
-	// CacheBytes budgets the live-solve tower cache (LRU eviction).
-	// <= 0 means unbounded.
+	// CacheBytes budgets the live-solve tower cache shared by every
+	// mount (LRU eviction). <= 0 means unbounded.
 	CacheBytes int64
 
 	// MaxRounds bounds /v1/solve searches when the request does not
@@ -46,23 +62,49 @@ type ServerOptions struct {
 
 	// ReadOnly disables the write-back of computed entries.
 	ReadOnly bool
+
+	// Auth, when non-nil, requires a valid API key on every /v1
+	// request and rate-limits per key. Nil serves openly.
+	Auth *AuthConfig
+
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request.
+	AccessLog io.Writer
+
+	// MaxRangeLimit caps the limit parameter of /v1/entries pages.
+	// <= 0 selects 4096.
+	MaxRangeLimit int
+
+	// MaxBatch caps the indices of one bulk classify. <= 0 selects 1024.
+	MaxBatch int
+
+	// SkipPresence skips building the per-mount presence filters (a
+	// full block walk per store at startup).
+	SkipPresence bool
 }
 
-// Server answers census queries from a store. Create with NewServer,
-// mount Handler on any mux or http.Server.
+// Server answers census queries for every store mounted in a registry.
+// Create with NewServer (or NewSingleServer for one store), mount
+// Handler on any mux or http.Server.
 type Server struct {
-	st     *Store
-	n      int
-	orbits *adversary.Orbits
+	reg    *Registry
 	opts   ServerOptions
+	tcache *chromatic.TowerCache
+	m      *metrics
+	logger *accessLogger
 
-	classify *census.Examiner
-	universe *chromatic.Universe
-	tcache   *chromatic.TowerCache
+	mu     sync.RWMutex
+	states map[int]*mountState
 
-	lru *entryLRU
+	reqSeq   atomic.Uint64
+	reqEpoch string
+	started  time.Time
 
-	// Counters (atomic): surfaced on /healthz.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// Aggregate counters across mounts (surfaced on /healthz; the
+	// per-n breakdown lives in /metrics).
 	requests   atomic.Uint64
 	cacheHits  atomic.Uint64
 	storeHits  atomic.Uint64
@@ -71,53 +113,246 @@ type Server struct {
 	persisted  atomic.Uint64
 }
 
-// NewServer builds the query layer over an open store.
-func NewServer(st *Store, opts ServerOptions) (*Server, error) {
-	n := st.N()
+// mountState is the per-mount serving machinery.
+type mountState struct {
+	mount    *Mount
+	nLabel   string
+	orbits   *adversary.Orbits
+	classify *census.Examiner
+	universe *chromatic.Universe
+	lru      *entryLRU
+}
+
+// NewServer builds the serving layer over a registry. Presence filters
+// are built per mount (one block walk each) unless SkipPresence; the
+// registry may gain mounts later, which lazily get their serving state
+// (and presence) on first query.
+func NewServer(reg *Registry, opts ServerOptions) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("store: nil registry")
+	}
 	if opts.CacheEntries <= 0 {
 		opts.CacheEntries = 4096
 	}
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 1
 	}
-	universe := chromatic.SharedUniverse(n)
+	if opts.MaxRangeLimit <= 0 {
+		opts.MaxRangeLimit = 4096
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1024
+	}
 	var tcache *chromatic.TowerCache
 	if opts.CacheBytes > 0 {
 		tcache = chromatic.NewTowerCacheWithBudget(opts.CacheBytes)
 	} else {
 		tcache = chromatic.NewTowerCache()
 	}
-	classify, err := census.NewExaminer(n, census.Options{Universe: universe, Cache: tcache})
+	s := &Server{
+		reg:      reg,
+		opts:     opts,
+		tcache:   tcache,
+		m:        newMetrics(),
+		states:   make(map[int]*mountState),
+		reqEpoch: fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
+		started:  time.Now(),
+	}
+	if opts.AccessLog != nil {
+		s.logger = &accessLogger{w: opts.AccessLog}
+	}
+	for _, mt := range reg.Mounts() {
+		if _, err := s.state(mt.N()); err != nil {
+			return nil, err
+		}
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// NewSingleServer builds the serving layer over one store — the
+// compatibility wrapper for the historical single-store API (and the
+// fact.NewCensusServer shim). The store is mounted as "store".
+func NewSingleServer(st *Store, opts ServerOptions) (*Server, error) {
+	reg := NewRegistry()
+	if err := reg.Mount("store", st); err != nil {
+		return nil, err
+	}
+	return NewServer(reg, opts)
+}
+
+// state returns (building lazily) the serving state of the mount for n.
+func (s *Server) state(n int) (*mountState, error) {
+	s.mu.RLock()
+	ms, ok := s.states[n]
+	s.mu.RUnlock()
+	if ok {
+		return ms, nil
+	}
+	mt, ok := s.reg.Get(n)
+	if !ok {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ms, ok := s.states[n]; ok {
+		return ms, nil
+	}
+	universe := chromatic.SharedUniverse(n)
+	classify, err := census.NewExaminer(n, census.Options{Universe: universe, Cache: s.tcache})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		st:       st,
-		n:        n,
+	if !s.opts.SkipPresence {
+		if err := mt.Store().LoadPresence(); err != nil {
+			return nil, err
+		}
+	}
+	ms = &mountState{
+		mount:    mt,
+		nLabel:   strconv.Itoa(n),
 		orbits:   adversary.NewOrbits(n),
-		opts:     opts,
 		classify: classify,
 		universe: universe,
-		tcache:   tcache,
-		lru:      newEntryLRU(opts.CacheEntries),
-	}, nil
+		lru:      newEntryLRU(s.opts.CacheEntries),
+	}
+	s.states[n] = ms
+	return ms, nil
 }
 
-// Handler returns the HTTP handler serving the /v1 API.
+// SetDraining flips readiness: /readyz answers 503 while true, so load
+// balancers stop routing before the listener drains.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the HTTP handler serving the API, wrapped in the
+// request-id / metrics / logging / auth middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/entries", s.handleEntries)
 	mux.HandleFunc("/v1/summary", s.handleSummary)
 	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/stores", s.handleStores)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.instrument(mux)
 }
 
-// httpError is the JSON error envelope.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// probePath reports the endpoints exempt from auth: health probes and
+// metric scrapers authenticate out of band (network policy), and
+// locking them out turns every outage into a diagnosis problem.
+func probePath(path string) bool {
+	return path == "/healthz" || path == "/readyz" || path == "/metrics"
+}
+
+// statusWriter captures the response status and size for metrics and
+// the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming flushes (the JSONL range scan).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument is the middleware chain: request id, in-flight gauge,
+// auth + rate limiting, latency/status metrics, access logging.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := fmt.Sprintf("%s-%06d", s.reqEpoch, s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(withRequestID(r.Context(), reqID))
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+
+		keyName := ""
+		if s.opts.Auth != nil && !probePath(r.URL.Path) {
+			name, status, retryAfter := s.opts.Auth.admit(r)
+			keyName = name
+			switch status {
+			case http.StatusUnauthorized:
+				s.m.authRejected.with("unauthorized").Add(1)
+				httpError(sw, r, http.StatusUnauthorized, "missing or unknown API key")
+			case http.StatusTooManyRequests:
+				s.m.authRejected.with("ratelimited").Add(1)
+				sw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+				httpError(sw, r, http.StatusTooManyRequests, "rate limit exceeded for this API key")
+			default:
+				next.ServeHTTP(sw, r)
+			}
+		} else {
+			next.ServeHTTP(sw, r)
+		}
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.m.requests.with(r.URL.Path, strconv.Itoa(sw.status)).Add(1)
+		s.m.requestSeconds.observe(dur.Seconds())
+		if s.logger != nil {
+			s.logger.log(accessRecord{
+				Time:      start.UTC().Format(time.RFC3339Nano),
+				Level:     "info",
+				Msg:       "request",
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Query:     r.URL.RawQuery,
+				Status:    sw.status,
+				Bytes:     sw.bytes,
+				DurMs:     float64(dur.Microseconds()) / 1e3,
+				RequestID: reqID,
+				Key:       keyName,
+				Remote:    r.RemoteAddr,
+			})
+		}
+	})
+}
+
+// errorEnvelope is the uniform v1 error body.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code      int    `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// httpError writes the JSON error envelope, tagging the request id.
+func httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: requestID(r.Context()),
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -127,41 +362,46 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-// params parses and validates the n (must match the store) and, when
-// wantIndex, the index query parameters.
-func (s *Server) params(w http.ResponseWriter, r *http.Request, wantIndex bool) (idx uint64, ok bool) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-		return 0, false
-	}
-	nStr := r.URL.Query().Get("n")
+// mountFor routes a request's n parameter to its serving state,
+// answering the envelope for missing/invalid/unmounted n.
+func (s *Server) mountFor(w http.ResponseWriter, r *http.Request, nStr string) (*mountState, bool) {
 	if nStr == "" {
-		httpError(w, http.StatusBadRequest, "missing n parameter (this store serves n=%d)", s.n)
-		return 0, false
+		httpError(w, r, http.StatusBadRequest, "missing n parameter (mounted: n=%v)", s.reg.Ns())
+		return nil, false
 	}
 	n, err := strconv.Atoi(nStr)
-	if err != nil || n != s.n {
-		httpError(w, http.StatusBadRequest, "n=%s not served: this store holds the n=%d census", nStr, s.n)
-		return 0, false
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, "bad n %q", nStr)
+		return nil, false
 	}
-	if !wantIndex {
-		return 0, true
+	ms, err := s.state(n)
+	if err != nil {
+		httpError(w, r, http.StatusInternalServerError, "mount n=%d: %v", n, err)
+		return nil, false
 	}
-	idxStr := r.URL.Query().Get("index")
+	if ms == nil {
+		httpError(w, r, http.StatusNotFound, "n=%d not mounted (mounted: n=%v)", n, s.reg.Ns())
+		return nil, false
+	}
+	return ms, true
+}
+
+// parseIndex validates one index against the mount's domain.
+func (ms *mountState) parseIndex(w http.ResponseWriter, r *http.Request, idxStr string) (uint64, bool) {
 	if idxStr == "" {
-		httpError(w, http.StatusBadRequest, "missing index parameter")
+		httpError(w, r, http.StatusBadRequest, "missing index parameter")
 		return 0, false
 	}
-	idx, err = strconv.ParseUint(idxStr, 10, 64)
-	if err != nil || idx >= adversary.CensusSize(s.n) {
-		httpError(w, http.StatusBadRequest, "index %s outside the n=%d domain [0, %d)",
-			idxStr, s.n, adversary.CensusSize(s.n))
+	idx, err := strconv.ParseUint(idxStr, 10, 64)
+	if err != nil || idx >= adversary.CensusSize(ms.mount.N()) {
+		httpError(w, r, http.StatusBadRequest, "index %s outside the n=%d domain [0, %d)",
+			idxStr, ms.mount.N(), adversary.CensusSize(ms.mount.N()))
 		return 0, false
 	}
 	return idx, true
 }
 
-// classifyResponse is the /v1/classify envelope.
+// classifyResponse is the GET /v1/classify envelope.
 type classifyResponse struct {
 	N      int           `json:"n"`
 	Index  uint64        `json:"index"`
@@ -169,40 +409,101 @@ type classifyResponse struct {
 	Entry  *census.Entry `json:"entry"`
 }
 
-func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	idx, ok := s.params(w, r, true)
-	if !ok {
-		return
-	}
-	e, source, err := s.classifyIndex(idx)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "classify %d: %v", idx, err)
-		return
-	}
-	writeJSON(w, classifyResponse{N: s.n, Index: idx, Source: source, Entry: e})
+// batchClassifyRequest is the POST /v1/classify body.
+type batchClassifyRequest struct {
+	N       int      `json:"n"`
+	Indices []uint64 `json:"indices"`
 }
 
-// classifyIndex resolves one index: LRU, store (orbit-aware), then live
-// computation with write-back.
-func (s *Server) classifyIndex(idx uint64) (*census.Entry, string, error) {
-	if e, ok := s.lru.get(idx); ok {
+// batchClassifyResponse is the POST /v1/classify envelope: results in
+// request order, each result exactly the GET envelope for that index.
+type batchClassifyResponse struct {
+	N       int                `json:"n"`
+	Results []classifyResponse `json:"results"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		ms, ok := s.mountFor(w, r, r.URL.Query().Get("n"))
+		if !ok {
+			return
+		}
+		idx, ok := ms.parseIndex(w, r, r.URL.Query().Get("index"))
+		if !ok {
+			return
+		}
+		e, source, err := s.classifyIndex(ms, idx)
+		if err != nil {
+			httpError(w, r, http.StatusInternalServerError, "classify %d: %v", idx, err)
+			return
+		}
+		writeJSON(w, classifyResponse{N: ms.mount.N(), Index: idx, Source: source, Entry: e})
+	case http.MethodPost:
+		var req batchClassifyRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<22)).Decode(&req); err != nil {
+			httpError(w, r, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		ms, ok := s.mountFor(w, r, strconv.Itoa(req.N))
+		if !ok {
+			return
+		}
+		if len(req.Indices) == 0 {
+			httpError(w, r, http.StatusBadRequest, "empty indices")
+			return
+		}
+		if len(req.Indices) > s.opts.MaxBatch {
+			httpError(w, r, http.StatusBadRequest, "%d indices exceed the batch cap %d", len(req.Indices), s.opts.MaxBatch)
+			return
+		}
+		domain := adversary.CensusSize(ms.mount.N())
+		for _, idx := range req.Indices {
+			if idx >= domain {
+				httpError(w, r, http.StatusBadRequest, "index %d outside the n=%d domain [0, %d)", idx, ms.mount.N(), domain)
+				return
+			}
+		}
+		resp := batchClassifyResponse{N: ms.mount.N(), Results: make([]classifyResponse, len(req.Indices))}
+		for i, idx := range req.Indices {
+			e, source, err := s.classifyIndex(ms, idx)
+			if err != nil {
+				httpError(w, r, http.StatusInternalServerError, "classify %d: %v", idx, err)
+				return
+			}
+			resp.Results[i] = classifyResponse{N: ms.mount.N(), Index: idx, Source: source, Entry: e}
+		}
+		writeJSON(w, resp)
+	default:
+		httpError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// classifyIndex resolves one index: LRU, store (presence-filtered,
+// orbit-aware), then live computation with write-back.
+func (s *Server) classifyIndex(ms *mountState, idx uint64) (*census.Entry, string, error) {
+	if e, ok := ms.lru.get(idx); ok {
 		s.cacheHits.Add(1)
+		s.m.cacheHits.with(ms.nLabel).Add(1)
 		return e, "cache", nil
 	}
-	e, src, err := s.st.Lookup(idx, s.orbits)
+	st := ms.mount.Store()
+	e, src, err := st.Lookup(idx, ms.orbits)
 	if err != nil {
 		return nil, "", err
 	}
 	switch src {
 	case LookupDirect:
 		s.storeHits.Add(1)
+		s.m.storeHits.with(ms.nLabel).Add(1)
 		e = stripOrbitSize(e)
-		s.lru.put(idx, e)
+		ms.lru.put(idx, e)
 		return e, "store", nil
 	case LookupRehydrated:
 		s.rehydrated.Add(1)
-		s.lru.put(idx, e)
+		s.m.rehydrated.with(ms.nLabel).Add(1)
+		ms.lru.put(idx, e)
 		return e, "store-rehydrated", nil
 	}
 	// Miss: compute live, persist the canonical form the store's kind
@@ -211,18 +512,23 @@ func (s *Server) classifyIndex(idx uint64) (*census.Entry, string, error) {
 	// recoverable, so a classify-only entry would conflict with the
 	// completed sweep's bytes on a later merge.
 	s.computed.Add(1)
-	e, persist, err := s.computeEntry(idx)
+	s.m.storeMisses.with(ms.nLabel).Add(1)
+	s.m.computed.with(ms.nLabel).Add(1)
+	t0 := time.Now()
+	e, persist, err := s.computeEntry(ms, idx)
 	if err != nil {
 		return nil, "", err
 	}
-	if !s.opts.ReadOnly && !s.st.SolveMode() {
-		if added, err := s.st.PutNew(persist); err != nil {
+	s.m.computeSeconds.observe(time.Since(t0).Seconds())
+	if !s.opts.ReadOnly && !st.SolveMode() {
+		if added, err := st.PutNew(persist); err != nil {
 			return nil, "", err
 		} else if added {
 			s.persisted.Add(1)
+			s.m.persisted.with(ms.nLabel).Add(1)
 		}
 	}
-	s.lru.put(idx, e)
+	ms.lru.put(idx, e)
 	return e, "computed", nil
 }
 
@@ -230,10 +536,11 @@ func (s *Server) classifyIndex(idx uint64) (*census.Entry, string, error) {
 // persisted form is the orbit's canonical representative (carrying its
 // orbit size, so store aggregates stay orbit-weighted); the response
 // entry is always the queried index's own.
-func (s *Server) computeEntry(idx uint64) (respond, persist *census.Entry, err error) {
-	if s.st.Orbits() {
-		canon, size, perm := s.orbits.CanonicalWithWitness(idx)
-		ce, err := s.classify.Examine(canon)
+func (s *Server) computeEntry(ms *mountState, idx uint64) (respond, persist *census.Entry, err error) {
+	n := ms.mount.N()
+	if ms.mount.Store().Orbits() {
+		canon, size, perm := ms.orbits.CanonicalWithWitness(idx)
+		ce, err := ms.classify.Examine(canon)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -242,17 +549,128 @@ func (s *Server) computeEntry(idx uint64) (respond, persist *census.Entry, err e
 		if canon == idx {
 			return stripOrbitSize(&ce), persist, nil
 		}
-		respond, err = rehydrateWith(s.n, persist, idx, perm)
+		respond, err = rehydrateWith(n, persist, idx, perm)
 		if err != nil {
 			return nil, nil, err
 		}
 		return respond, persist, nil
 	}
-	e, err := s.classify.Examine(idx)
+	e, err := ms.classify.Examine(idx)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &e, &e, nil
+}
+
+// entriesResponse is the paginated JSON form of /v1/entries. Entries
+// are the raw stored census lines (orbit stores: canonical
+// representatives with their orbit sizes).
+type entriesResponse struct {
+	N        int               `json:"n"`
+	From     uint64            `json:"from"`
+	To       uint64            `json:"to"`
+	Count    int               `json:"count"`
+	Entries  []json.RawMessage `json:"entries"`
+	More     bool              `json:"more"`
+	NextFrom uint64            `json:"next_from,omitempty"`
+}
+
+// handleEntries is the range scan: stored entries with from <= index
+// < to, paginated (JSON, limit + next_from) or streamed (format=jsonl,
+// page-buffered so the store lock is never held across client writes).
+func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		httpError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	q := r.URL.Query()
+	ms, ok := s.mountFor(w, r, q.Get("n"))
+	if !ok {
+		return
+	}
+	domain := adversary.CensusSize(ms.mount.N())
+	from, to := uint64(0), domain
+	var err error
+	if v := q.Get("from"); v != "" {
+		if from, err = strconv.ParseUint(v, 10, 64); err != nil {
+			httpError(w, r, http.StatusBadRequest, "bad from %q", v)
+			return
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = strconv.ParseUint(v, 10, 64); err != nil {
+			httpError(w, r, http.StatusBadRequest, "bad to %q", v)
+			return
+		}
+	}
+	if from > domain || to > domain || from > to {
+		httpError(w, r, http.StatusBadRequest, "range [%d, %d) outside the n=%d domain [0, %d]",
+			from, to, ms.mount.N(), domain)
+		return
+	}
+	limit := DefaultBlockEntries
+	if v := q.Get("limit"); v != "" {
+		l, err := strconv.Atoi(v)
+		if err != nil || l < 1 {
+			httpError(w, r, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		if l > s.opts.MaxRangeLimit {
+			l = s.opts.MaxRangeLimit
+		}
+		limit = l
+	}
+	st := ms.mount.Store()
+	if q.Get("format") == "jsonl" {
+		// Stream the window page by page: the store lock is taken per
+		// page, never across a client write.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		wrote := false
+		for {
+			page, err := st.Range(from, to, limit)
+			if err != nil {
+				// Before the first byte the envelope still works; after,
+				// the only honest signal is cutting the stream short.
+				if !wrote {
+					httpError(w, r, http.StatusInternalServerError, "range: %v", err)
+				}
+				return
+			}
+			for _, line := range page.Lines {
+				w.Write(line)
+				w.Write([]byte{'\n'})
+				wrote = true
+			}
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			if !page.More {
+				return
+			}
+			from = page.Next
+		}
+	}
+	page, err := st.Range(from, to, limit)
+	if err != nil {
+		httpError(w, r, http.StatusInternalServerError, "range: %v", err)
+		return
+	}
+	resp := entriesResponse{
+		N:       ms.mount.N(),
+		From:    from,
+		To:      to,
+		Count:   len(page.Lines),
+		Entries: make([]json.RawMessage, len(page.Lines)),
+		More:    page.More,
+	}
+	for i, line := range page.Lines {
+		resp.Entries[i] = json.RawMessage(line)
+	}
+	if page.More {
+		resp.NextFrom = page.Next
+	}
+	writeJSON(w, resp)
 }
 
 // summaryResponse is the /v1/summary envelope.
@@ -264,15 +682,20 @@ type summaryResponse struct {
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if _, ok := s.params(w, r, false); !ok {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		httpError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	sum, err := s.st.Summary()
+	ms, ok := s.mountFor(w, r, r.URL.Query().Get("n"))
+	if !ok {
+		return
+	}
+	sum, err := ms.mount.Store().Summary()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "summary: %v", err)
+		httpError(w, r, http.StatusInternalServerError, "summary: %v", err)
 		return
 	}
-	writeJSON(w, summaryResponse{N: s.n, Summary: sum, Store: s.st.Stats()})
+	writeJSON(w, summaryResponse{N: ms.mount.N(), Summary: sum, Store: ms.mount.Store().Stats()})
 }
 
 // solveResponse is the /v1/solve envelope.
@@ -294,16 +717,25 @@ type solveResponse struct {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	idx, ok := s.params(w, r, true)
-	if !ok {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		httpError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	q := r.URL.Query()
+	ms, ok := s.mountFor(w, r, q.Get("n"))
+	if !ok {
+		return
+	}
+	idx, ok := ms.parseIndex(w, r, q.Get("index"))
+	if !ok {
+		return
+	}
+	n := ms.mount.N()
 	kTask := 1
 	if v := q.Get("ktask"); v != "" {
 		k, err := strconv.Atoi(v)
-		if err != nil || k < 1 || k > s.n {
-			httpError(w, http.StatusBadRequest, "ktask %q outside [1, %d]", v, s.n)
+		if err != nil || k < 1 || k > n {
+			httpError(w, r, http.StatusBadRequest, "ktask %q outside [1, %d]", v, n)
 			return
 		}
 		kTask = k
@@ -312,7 +744,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("rounds"); v != "" {
 		l, err := strconv.Atoi(v)
 		if err != nil || l < 1 || l > 4 {
-			httpError(w, http.StatusBadRequest, "rounds %q outside [1, 4]", v)
+			httpError(w, r, http.StatusBadRequest, "rounds %q outside [1, 4]", v)
 			return
 		}
 		maxRounds = l
@@ -320,22 +752,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Always a live decision over the shared universe and tower cache:
 	// store entries only memoize the census' own solve configuration,
 	// while /v1/solve answers for any (ktask, rounds).
-	ex, err := census.NewExaminer(s.n, census.Options{
+	ex, err := census.NewExaminer(n, census.Options{
 		Solve: true, KTask: kTask, MaxRounds: maxRounds,
-		Universe: s.universe, Cache: s.tcache,
+		Universe: ms.universe, Cache: s.tcache,
 	})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "solve: %v", err)
+		httpError(w, r, http.StatusInternalServerError, "solve: %v", err)
 		return
 	}
 	s.computed.Add(1)
+	s.m.computed.with(ms.nLabel).Add(1)
+	t0 := time.Now()
 	e, err := ex.Examine(idx)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "solve %d: %v", idx, err)
+		httpError(w, r, http.StatusInternalServerError, "solve %d: %v", idx, err)
 		return
 	}
+	s.m.computeSeconds.observe(time.Since(t0).Seconds())
 	writeJSON(w, solveResponse{
-		N: s.n, Index: idx, Adversary: e.Adversary,
+		N: n, Index: idx, Adversary: e.Adversary,
 		Fair: e.Fair, Setcon: e.Setcon,
 		KTask: kTask, MaxRounds: maxRounds,
 		Solved: e.Solved, Solvable: e.Solvable, Rounds: e.Rounds,
@@ -344,11 +779,51 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthzResponse is the /healthz envelope.
+// storeInfo is one mount in the /v1/stores listing.
+type storeInfo struct {
+	Name   string `json:"name"`
+	N      int    `json:"n"`
+	Kind   string `json:"kind"` // full | orbit | empty
+	Solve  bool   `json:"solve,omitempty"`
+	Domain uint64 `json:"domain"`
+	Stats  Stats  `json:"stats"`
+}
+
+// storesResponse is the /v1/stores envelope.
+type storesResponse struct {
+	Stores []storeInfo `json:"stores"`
+}
+
+func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	resp := storesResponse{Stores: []storeInfo{}}
+	for _, mt := range s.reg.Mounts() {
+		st := mt.Store()
+		kind := "full"
+		stats := st.Stats()
+		if st.Orbits() {
+			kind = "orbit"
+		} else if stats.Entries == 0 {
+			kind = "empty"
+		}
+		resp.Stores = append(resp.Stores, storeInfo{
+			Name:   mt.Name(),
+			N:      mt.N(),
+			Kind:   kind,
+			Solve:  st.SolveMode(),
+			Domain: adversary.CensusSize(mt.N()),
+			Stats:  stats,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// healthzResponse is the /healthz envelope: liveness plus the
+// aggregate counters (per-n breakdowns live on /metrics).
 type healthzResponse struct {
 	Status     string `json:"status"`
-	N          int    `json:"n"`
-	Store      Stats  `json:"store"`
+	Mounts     []int  `json:"mounts"`
+	UptimeSec  int64  `json:"uptime_sec"`
 	Requests   uint64 `json:"requests"`
 	CacheHits  uint64 `json:"cache_hits"`
 	StoreHits  uint64 `json:"store_hits"`
@@ -359,7 +834,9 @@ type healthzResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, healthzResponse{
-		Status: "ok", N: s.n, Store: s.st.Stats(),
+		Status:     "ok",
+		Mounts:     s.reg.Ns(),
+		UptimeSec:  int64(time.Since(s.started).Seconds()),
 		Requests:   s.requests.Load(),
 		CacheHits:  s.cacheHits.Load(),
 		StoreHits:  s.storeHits.Load(),
@@ -367,6 +844,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Computed:   s.computed.Load(),
 		Persisted:  s.persisted.Load(),
 	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, map[string]string{"status": "ready"})
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.writeTo(w, s)
 }
 
 // stripOrbitSize normalizes a stored entry for query responses: the

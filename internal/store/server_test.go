@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -25,7 +26,7 @@ func newTestServer(t *testing.T, n int, shardOpts census.Options, srvOpts Server
 	if _, err := st.Merge([]string{shard}, MergeOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(st, srvOpts)
+	srv, err := NewSingleServer(st, srvOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestServeMissComputesAndPersists(t *testing.T) {
 	// A fresh server over the same store must find the persisted
 	// answer without recomputing (the write-back stored the canonical
 	// representative, so index 100 resolves through its orbit).
-	srv2, err := NewServer(st, ServerOptions{})
+	srv2, err := NewSingleServer(st, ServerOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,31 +193,59 @@ func TestServeBadRequests(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	for _, url := range []string{
-		"/v1/classify?n=4&index=0",   // wrong n
-		"/v1/classify?index=0",       // missing n
-		"/v1/classify?n=3",           // missing index
-		"/v1/classify?n=3&index=128", // beyond domain
-		"/v1/solve?n=3&index=0&ktask=9",
-		"/v1/solve?n=3&index=0&rounds=99",
-		"/v1/summary?n=2",
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{"/v1/classify?n=4&index=0", http.StatusNotFound}, // n not mounted
+		{"/v1/classify?index=0", http.StatusBadRequest},   // missing n
+		{"/v1/classify?n=3", http.StatusBadRequest},       // missing index
+		{"/v1/classify?n=3&index=128", http.StatusBadRequest},
+		{"/v1/solve?n=3&index=0&ktask=9", http.StatusBadRequest},
+		{"/v1/solve?n=3&index=0&rounds=99", http.StatusBadRequest},
+		{"/v1/summary?n=2", http.StatusNotFound}, // n not mounted
+		{"/v1/entries?n=3&from=5&to=1", http.StatusBadRequest},
 	} {
-		resp, err := http.Get(ts.URL + url)
+		resp, err := http.Get(ts.URL + tc.url)
 		if err != nil {
 			t.Fatal(err)
 		}
+		var env struct {
+			Error struct {
+				Code      int    `json:"code"`
+				Message   string `json:"message"`
+				RequestID string `json:"request_id"`
+			} `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&env)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("GET %s: HTTP %d, want 400", url, resp.StatusCode)
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: HTTP %d, want %d", tc.url, resp.StatusCode, tc.want)
+		}
+		if err != nil || env.Error.Code != tc.want || env.Error.Message == "" || env.Error.RequestID == "" {
+			t.Errorf("GET %s: bad error envelope (err %v): %+v", tc.url, err, env)
+		}
+		if got := resp.Header.Get("X-Request-Id"); got != env.Error.RequestID {
+			t.Errorf("GET %s: X-Request-Id header %q != envelope request_id %q", tc.url, got, env.Error.RequestID)
 		}
 	}
-	resp, err := http.Post(ts.URL+"/v1/classify?n=3&index=0", "text/plain", nil)
+	// POST is the batch form now — a non-JSON body is a 400, and the
+	// unsupported method on an endpoint stays 405.
+	resp, err := http.Post(ts.URL+"/v1/classify", "text/plain", strings.NewReader("nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST classify (bad body): HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/summary?n=3", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST classify: HTTP %d, want 405", resp.StatusCode)
+		t.Errorf("POST summary: HTTP %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/adversary"
 	"repro/internal/census"
@@ -126,6 +127,12 @@ type Store struct {
 	cacheOrder []int64 // LRU order, oldest first
 
 	summary *census.Summary // cached aggregate; nil after writes
+
+	// presence, when loaded (LoadPresence), short-circuits definite
+	// misses before any index probe or block inflation. Nil until
+	// loaded; a merge drops it (the entry set changed wholesale).
+	presence      *presenceFilter
+	presenceSkips atomic.Uint64
 }
 
 // blockEntry is one inflated entry: its index and raw JSON line
@@ -334,8 +341,17 @@ func (s *Store) Get(idx uint64) (*census.Entry, bool, error) {
 	return &e, true, nil
 }
 
+// domainSizeLocked is the store's enumeration-domain size.
+func (s *Store) domainSizeLocked() uint64 {
+	return adversary.CensusSize(s.man.N)
+}
+
 // getRawLocked finds the raw JSON line of idx. Callers hold s.mu.
 func (s *Store) getRawLocked(idx uint64) ([]byte, bool, error) {
+	if s.presence != nil && !s.presence.mayContain(idx) {
+		s.presenceSkips.Add(1)
+		return nil, false, nil
+	}
 	blocks := s.man.Blocks
 	// i = first block with First > idx; candidates are to its left.
 	i := sort.Search(len(blocks), func(j int) bool { return blocks[j].First > idx })
@@ -567,6 +583,9 @@ func (s *Store) PutNew(e *census.Entry) (added bool, err error) {
 		return false, err
 	}
 	s.reindexLocked()
+	if s.presence != nil {
+		s.presence.add(e.Index)
+	}
 	return true, nil
 }
 

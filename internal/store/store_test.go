@@ -410,13 +410,17 @@ func TestSolveStoreDisablesWriteBack(t *testing.T) {
 	if !st.SolveMode() {
 		t.Fatal("store of a -solve sweep not marked solve-mode")
 	}
-	srv, err := NewServer(st, ServerOptions{})
+	srv, err := NewSingleServer(st, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := srv.state(3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := st.Stats().Entries
 	// Index 100 misses: computed live, but NOT persisted.
-	if _, src, err := srv.classifyIndex(100); err != nil || src != "computed" {
+	if _, src, err := srv.classifyIndex(ms, 100); err != nil || src != "computed" {
 		t.Fatalf("classify miss: src=%q err=%v", src, err)
 	}
 	if after := st.Stats().Entries; after != before {

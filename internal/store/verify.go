@@ -1,0 +1,210 @@
+package store
+
+// Deep verification: `factool store verify`. A full walk over the
+// physical store — every block read, CRC-checked, inflated and framed —
+// plus logical consistency of the manifest against the data (sorted
+// blocks, exact First/Last/Entries, in-domain indices, byte-identical
+// duplicates across overlapping blocks, kind discipline) and an
+// orbit-consistency spot check re-deriving canonicality, orbit sizes
+// and (for classify stores) whole classification entries from scratch.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/census"
+)
+
+// VerifyOptions tune a deep check.
+type VerifyOptions struct {
+	// SpotChecks bounds how many entries get semantically re-derived
+	// (canonicality + orbit size, and a from-scratch reclassification
+	// on classify stores). <= 0 selects 8; the sample is spread
+	// deterministically across the stored sequence.
+	SpotChecks int
+}
+
+// VerifyReport is the outcome of a deep check.
+type VerifyReport struct {
+	Blocks       int      `json:"blocks"`
+	Entries      uint64   `json:"entries"`
+	Unique       uint64   `json:"unique"`
+	Bytes        int64    `json:"bytes"`
+	SpotChecked  int      `json:"spot_checked"`
+	Reclassified int      `json:"reclassified"`
+	Problems     []string `json:"problems,omitempty"`
+}
+
+// OK reports a clean check.
+func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r *VerifyReport) problemf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Verify deep-checks the store. The returned error is only for
+// environmental failures (an unreadable store, a failed examiner);
+// data corruption lands in VerifyReport.Problems so one walk surfaces
+// every finding, not just the first. Memory stays bounded by a few
+// inflated blocks: the logical walk pages through Range.
+func (s *Store) Verify(opts VerifyOptions) (*VerifyReport, error) {
+	spot := opts.SpotChecks
+	if spot <= 0 {
+		spot = 8
+	}
+	rep := &VerifyReport{}
+	n, domain, orbitKind, solveMode, err := s.verifyPhysical(rep)
+	if err != nil {
+		return nil, err
+	}
+
+	// Logical walk in index order through Range pages: every line
+	// parses, agrees with its key, and obeys the manifest's kind and
+	// solve commitments. Range itself enforces byte-identical
+	// duplicates and ordering (ErrCorrupt), which counts as a finding.
+	var orbits *adversary.Orbits
+	if orbitKind {
+		orbits = adversary.NewOrbits(n)
+	}
+	var examiner *census.Examiner
+	if !solveMode {
+		if examiner, err = census.NewExaminer(n, census.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	// Evenly-spread semantic sample over the unique entry sequence.
+	step := uint64(1)
+	if u := s.Stats().Entries; u > uint64(spot) {
+		step = u / uint64(spot)
+	}
+	sawSolve := false
+	var pos uint64
+	for from, more := uint64(0), true; more; {
+		page, err := s.Range(from, domain, DefaultBlockEntries)
+		if err != nil {
+			rep.problemf("range walk from %d: %v", from, err)
+			break
+		}
+		from, more = page.Next, page.More
+		for i, line := range page.Lines {
+			idx := page.Indices[i]
+			rep.Unique++
+			var e census.Entry
+			if err := json.Unmarshal(line, &e); err != nil {
+				rep.problemf("index %d: unparseable entry: %v", idx, err)
+				continue
+			}
+			if e.Index != idx {
+				rep.problemf("index %d: line declares index %d", idx, e.Index)
+			}
+			if orbitKind && e.OrbitSize == 0 {
+				rep.problemf("index %d: orbit store holds a plain entry", idx)
+			}
+			if !orbitKind && e.OrbitSize != 0 {
+				rep.problemf("index %d: full store holds an orbit-weighted entry", idx)
+			}
+			if e.Solved {
+				sawSolve = true
+			}
+			if pos%step == 0 && rep.SpotChecked < spot {
+				rep.SpotChecked++
+				s.spotCheck(rep, orbits, examiner, idx, &e, line)
+			}
+			pos++
+		}
+	}
+	if sawSolve && !solveMode {
+		rep.problemf("manifest: solve entries present but Solve flag unset")
+	}
+	return rep, nil
+}
+
+// verifyPhysical walks every block bypassing the cache: CRC, gzip
+// framing, entry counts, in-block ordering, and manifest agreement.
+func (s *Store) verifyPhysical(rep *VerifyReport) (n int, domain uint64, orbitKind, solveMode bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		return 0, 0, false, false, fmt.Errorf("store: closed")
+	}
+	n = s.man.N
+	domain = s.domainSizeLocked()
+	orbitKind = s.man.EntryKind == kindOrbit
+	solveMode = s.man.Solve
+	rep.Blocks = len(s.man.Blocks)
+	var prevFirst uint64
+	for j, b := range s.man.Blocks {
+		rep.Bytes += b.Size
+		if j > 0 && b.First < prevFirst {
+			rep.problemf("manifest: block %d First=%d precedes block %d First=%d", j, b.First, j-1, prevFirst)
+		}
+		prevFirst = b.First
+		if b.First > b.Last {
+			rep.problemf("manifest: block %d First=%d > Last=%d", j, b.First, b.Last)
+			continue
+		}
+		entries, err := s.readBlockLocked(b)
+		if err != nil {
+			rep.problemf("block %d: %v", j, err)
+			continue
+		}
+		rep.Entries += uint64(len(entries))
+		for i, be := range entries {
+			if i > 0 && be.idx <= entries[i-1].idx {
+				rep.problemf("block %d: entry %d index %d not above %d", j, i, be.idx, entries[i-1].idx)
+			}
+			if be.idx < b.First || be.idx > b.Last {
+				rep.problemf("block %d: entry index %d outside manifest range [%d, %d]", j, be.idx, b.First, b.Last)
+			}
+			if be.idx >= domain {
+				rep.problemf("block %d: entry index %d beyond the n=%d domain (%d)", j, be.idx, n, domain)
+			}
+		}
+		if len(entries) > 0 {
+			if entries[0].idx != b.First {
+				rep.problemf("block %d: first entry %d, manifest First %d", j, entries[0].idx, b.First)
+			}
+			if entries[len(entries)-1].idx != b.Last {
+				rep.problemf("block %d: last entry %d, manifest Last %d", j, entries[len(entries)-1].idx, b.Last)
+			}
+		}
+	}
+	return n, domain, orbitKind, solveMode, nil
+}
+
+// spotCheck re-derives one entry from scratch: canonicality and orbit
+// size on orbit stores, and — on classify stores, where the sweep
+// configuration is fully known — the whole entry byte-for-byte (a
+// solve sweep's (k, rounds) is not recoverable, so solve stores get
+// the orbit checks only).
+func (s *Store) spotCheck(rep *VerifyReport, orbits *adversary.Orbits, examiner *census.Examiner,
+	idx uint64, e *census.Entry, line []byte) {
+	if orbits != nil {
+		if !orbits.IsCanonical(idx) {
+			rep.problemf("index %d: orbit store entry is not a canonical representative", idx)
+			return
+		}
+		if _, size, _ := orbits.CanonicalWithWitness(idx); size != e.OrbitSize {
+			rep.problemf("index %d: stored orbit size %d, derived %d", idx, e.OrbitSize, size)
+		}
+	}
+	if examiner == nil {
+		return
+	}
+	want, err := examiner.Examine(idx)
+	if err != nil {
+		rep.problemf("index %d: reclassification failed: %v", idx, err)
+		return
+	}
+	want.OrbitSize = e.OrbitSize
+	wb, err := json.Marshal(&want)
+	if err != nil {
+		rep.problemf("index %d: reclassification marshal: %v", idx, err)
+		return
+	}
+	rep.Reclassified++
+	if string(wb) != string(line) {
+		rep.problemf("index %d: stored entry differs from reclassification: stored %s, derived %s", idx, line, wb)
+	}
+}

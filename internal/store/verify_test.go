@@ -1,0 +1,188 @@
+package store
+
+// Tests for the deep-check (`factool store verify`) and the presence
+// filter that short-circuits lookups of absent indices.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/census"
+)
+
+// TestVerifyCleanStore: a freshly merged store passes the deep check,
+// including the from-scratch reclassification spot sample.
+func TestVerifyCleanStore(t *testing.T) {
+	for _, orbits := range []bool{false, true} {
+		st, _ := buildStore(t, t.TempDir(), 3, census.Options{Workers: 1, Orbits: orbits, ShardSize: 16})
+		rep, err := st.Verify(VerifyOptions{SpotChecks: 5})
+		if err != nil {
+			t.Fatalf("orbits=%v: %v", orbits, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("orbits=%v: clean store flagged: %v", orbits, rep.Problems)
+		}
+		if rep.Blocks == 0 || rep.Entries == 0 || rep.Unique == 0 {
+			t.Fatalf("orbits=%v: empty report %+v", orbits, rep)
+		}
+		if rep.SpotChecked == 0 || rep.Reclassified == 0 {
+			t.Fatalf("orbits=%v: no spot checks ran: %+v", orbits, rep)
+		}
+	}
+}
+
+// TestVerifyDetectsCorruption: a flipped byte in the data file turns
+// into a reported problem (and a non-OK exit), not a silent pass.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := buildStore(t, dir, 3, census.Options{Workers: 1, ShardSize: 16})
+	storeDir := filepath.Join(dir, "store-n3")
+	matches, err := filepath.Glob(filepath.Join(storeDir, "blocks-*.dat"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no data file in %s (err %v)", storeDir, err)
+	}
+	st.Close()
+
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rep, err := st2.Verify(VerifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("corrupted data file passed verification")
+	}
+}
+
+// TestVerifyDetectsSemanticDrift: an entry whose stored bytes disagree
+// with its reclassification is caught by the spot check.
+func TestVerifyDetectsSemanticDrift(t *testing.T) {
+	dir := t.TempDir()
+	shard, entries := censusJSONL(t, dir, "shard.jsonl", 3, census.Options{Workers: 1, MaxIndices: 8})
+	// Tamper with one line before the merge: flip a classification
+	// field, keeping the JSON well-formed and the index untouched.
+	raw, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := raw
+	if i := indexOfByteSeq(raw, []byte(`"setcon":`)); i >= 0 {
+		tampered = append([]byte{}, raw[:i+len(`"setcon":`)]...)
+		tampered = append(tampered, '9')
+		rest := raw[i+len(`"setcon":`):]
+		for len(rest) > 0 && rest[0] >= '0' && rest[0] <= '9' {
+			rest = rest[1:]
+		}
+		tampered = append(tampered, rest...)
+	} else {
+		t.Fatal("no setcon field found in shard")
+	}
+	if err := os.WriteFile(shard, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Create(filepath.Join(dir, "store"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Merge([]string{shard}, MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check every entry so the tampered one is guaranteed sampled.
+	rep, err := st.Verify(VerifyOptions{SpotChecks: len(entries)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("semantically drifted entry passed verification")
+	}
+}
+
+func indexOfByteSeq(b, seq []byte) int {
+	for i := 0; i+len(seq) <= len(b); i++ {
+		match := true
+		for j := range seq {
+			if b[i+j] != seq[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestPresenceFilter: absent indices short-circuit without inflating a
+// block, present ones always pass (no false negatives), and PutNew
+// keeps the filter current.
+func TestPresenceFilter(t *testing.T) {
+	dir := t.TempDir()
+	st, entries := buildStore(t, dir, 3, census.Options{Workers: 1, ShardSize: 16, MaxIndices: 64})
+	if err := st.LoadPresence(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every stored index answers; the filter never rejects a present key.
+	for _, e := range entries {
+		_, ok, err := st.Get(e.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("present index %d filtered out", e.Index)
+		}
+	}
+	if skips := st.PresenceSkips(); skips != 0 {
+		t.Fatalf("%d presence skips on present keys", skips)
+	}
+
+	// Absent indices (inside block gaps or beyond) are skipped by the
+	// exact bitmap without touching a block.
+	for idx := uint64(64); idx < 127; idx++ {
+		_, ok, err := st.Get(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("absent index %d answered", idx)
+		}
+	}
+	if skips := st.PresenceSkips(); skips == 0 {
+		t.Fatal("no presence skips across 63 absent lookups")
+	}
+
+	// A write-back lands in the filter: the new index must answer.
+	ex, err := census.NewExaminer(3, census.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ex.Examine(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PutNew(&e); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := st.Get(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("index 100 absent after PutNew with an armed presence filter")
+	}
+}
