@@ -1,0 +1,116 @@
+package main
+
+// factool coordinate — the coordinator side of the distributed census
+// fabric: partition a campaign into rank-range units, lease them to
+// `factool work` processes over the v1 protocol, and fold the uploaded
+// shards into the ledger store.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fact "repro"
+)
+
+func cmdCoordinate(args []string) error {
+	fs := newFlagSet("coordinate")
+	n := fs.Int("n", 3, "number of processes")
+	storeDir := fs.String("store", "", "ledger store directory (created when missing)")
+	orbits := fs.Bool("orbits", true, "sweep canonical orbit representatives only")
+	solve := fs.Bool("solve", false, "campaign also decides k-set consensus per fair adversary")
+	ktask := fs.Int("ktask", 1, "k of the k-set consensus task for -solve")
+	rounds := fs.Int("rounds", 1, "maximum iterations of R_A for -solve")
+	unitSize := fs.Uint64("unit-size", 0, "ranks per unit (orbit mode) or raw indices per unit (0 = default)")
+	addr := fs.String("addr", "127.0.0.1:8081", "listen address")
+	ttl := fs.Duration("ttl", 60*time.Second, "default lease TTL; unrenewed leases requeue after it")
+	spool := fs.String("spool", "", "shard spool directory (default: system temp)")
+	apikeys := fs.String("apikeys", "", "API-key file (name:key[:rate[:burst]] lines); enables 401/429 auth")
+	logJSON := fs.Bool("log-json", false, "structured JSON request log on stderr")
+	exitOnComplete := fs.Bool("exit-on-complete", false, "shut down once every unit is merged (campaign runs, CI)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "in-flight request budget during shutdown")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return usagef(fs, "coordinate: -store is required")
+	}
+	st, err := fact.OpenOrCreateCensusStore(*storeDir, *n)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	camp := fact.FabricCampaign{N: *n, Orbits: *orbits, Solve: *solve, KTask: *ktask, MaxRounds: *rounds}
+	opts := fact.FabricCoordinatorOptions{
+		UnitSize: *unitSize,
+		TTL:      *ttl,
+		SpoolDir: *spool,
+		Log:      os.Stderr,
+	}
+	if *apikeys != "" {
+		auth, err := fact.LoadCensusAPIKeys(*apikeys)
+		if err != nil {
+			return err
+		}
+		opts.Auth = auth
+	}
+	if *logJSON {
+		opts.AccessLog = os.Stderr
+	}
+	c, err := fact.NewFabricCoordinator(st, camp, opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "factool coordinate: campaign n=%d orbits=%v solve=%v on %s (store %s)\n",
+		*n, *orbits, *solve, ln.Addr(), *storeDir)
+
+	// Serve until a signal — or, with -exit-on-complete, until the last
+	// unit merges. Workers polling an already-drained campaign get their
+	// "done" response during the drain window.
+	httpSrv := &http.Server{Handler: c.Handler()}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		if *exitOnComplete {
+			select {
+			case <-sigc:
+			case <-c.Done():
+				fmt.Fprintln(os.Stderr, "factool coordinate: campaign complete — draining")
+			}
+		} else {
+			<-sigc
+		}
+		signal.Stop(sigc)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		done <- httpSrv.Shutdown(ctx)
+	}()
+	err = httpSrv.Serve(ln)
+	signal.Stop(sigc)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+
+	status := c.Status()
+	fmt.Fprintf(os.Stderr, "factool coordinate: %d/%d units done, %d requeues, %d entries in the store\n",
+		status.Units.Done, status.Units.Total, status.Requeues, status.StoreEntries)
+	if status.Units.Conflict > 0 {
+		return fmt.Errorf("coordinate: %d unit(s) had conflicting completions — the store and the spooled shards disagree", status.Units.Conflict)
+	}
+	return nil
+}

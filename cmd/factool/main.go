@@ -7,6 +7,8 @@
 //	factool census -n 3 -workers 8 -json     # parallel census, JSON report
 //	factool merge -n 3 -store DIR a.jsonl    # merge shards into a store
 //	factool serve -store DIR -addr :8080     # HTTP query layer over a store
+//	factool coordinate -n 4 -store DIR       # distributed-campaign coordinator
+//	factool work -url http://host:8081       # fabric worker (acquire/sweep/upload)
 //	factool figures -dir out/                # regenerate all figure SVGs
 //	factool solve -n 3 -kind tres -t 1 -k 2  # FACT solvability decision
 //	factool simulate -n 3 -kind kof -k 1     # Algorithm 1 + §6 campaigns
@@ -86,6 +88,10 @@ func run(args []string) error {
 		return cmdMerge(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "coordinate":
+		return cmdCoordinate(args[1:])
+	case "work":
+		return cmdWork(args[1:])
 	case "store":
 		return cmdStore(args[1:])
 	case "loadtest":
@@ -126,6 +132,16 @@ subcommands:
              [-log-json] [-metrics] [flags] serve the v1 HTTP API over
                                             every mounted store (one
                                             process, any number of n)
+  coordinate -n N -store DIR [-orbits] [-solve -ktask K -rounds L]
+             [-unit-size U] [-addr A] [-ttl D] [-apikeys F]
+             [-exit-on-complete]             distributed-campaign
+                                            coordinator: lease rank-range
+                                            units to workers, merge their
+                                            shards into the store
+  work       -url URL [-id W] [-workers W] [-ttl S] [-max-units K]
+                                            fabric worker: acquire →
+                                            sweep → upload until the
+                                            campaign completes
   store      verify -store DIR [-spot K]    deep-check a store (CRC walk,
                                             manifest consistency, orbit
                                             spot check); exit 1 on
@@ -160,6 +176,11 @@ var synopses = map[string]string{
 		"                      [-apikeys FILE] [-log-json] [-metrics=false]\n" +
 		"                      [-cache-entries E] [-cachemb M] [-rounds L] [-readonly]\n" +
 		"                      [-no-presence] [-drain-timeout D]",
+	"coordinate": "-n N -store DIR [-orbits] [-solve -ktask K -rounds L] [-unit-size U]\n" +
+		"                      [-addr HOST:PORT] [-ttl D] [-spool DIR] [-apikeys FILE]\n" +
+		"                      [-log-json] [-exit-on-complete] [-drain-timeout D]",
+	"work": "-url URL [-id W] [-workers W] [-ttl SEC] [-cachemb M] [-tmp DIR]\n" +
+		"                      [-max-units K] [-apikey KEY] [-max-outage D] [-crash-after K]",
 	"store verify": "-store DIR [-spot K] [-json]",
 	"loadtest": "-url URL -n N [-duration D] [-concurrency C] [-batch B]\n" +
 		"                      [-solve-frac F] [-batch-frac F] [-ktask K] [-seed S]\n" +

@@ -22,6 +22,7 @@ import (
 	"repro/internal/census"
 	"repro/internal/chromatic"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/procs"
 	"repro/internal/sc"
 	"repro/internal/solver"
@@ -117,6 +118,20 @@ type (
 	// drives orbit-mode census sweeps; ForEachRepresentative is the
 	// filter-based reference scan.
 	AdversaryOrbits = adversary.Orbits
+	// FabricCampaign is the sweep configuration a census-fabric
+	// coordinator distributes to its workers.
+	FabricCampaign = fabric.Campaign
+	// FabricUnit is one leased work unit of a distributed campaign.
+	FabricUnit = fabric.Unit
+	// FabricCoordinator serves the v1 lease protocol over a campaign
+	// and folds completed shards into the ledger store.
+	FabricCoordinator = fabric.Coordinator
+	// FabricCoordinatorOptions tune a campaign coordinator.
+	FabricCoordinatorOptions = fabric.CoordinatorOptions
+	// FabricWorkerOptions configure one fabric worker process.
+	FabricWorkerOptions = fabric.WorkerOptions
+	// FabricWorkerStats summarize one worker's run.
+	FabricWorkerStats = fabric.WorkerStats
 	// AlgOneReport aggregates an Algorithm 1 verification campaign.
 	AlgOneReport = core.AlgOneReport
 	// SetConsensusReport aggregates a Section 6 simulation campaign.
@@ -161,6 +176,20 @@ var (
 	// NewCensusJSONLSinkCompressed opens a gzip JSON-lines census
 	// stream regardless of suffix (the -compress shard form).
 	NewCensusJSONLSinkCompressed = census.NewJSONLSinkCompressed
+	// SweepCensusRange sweeps exactly the raw enumeration indices
+	// [lo, hi) — the rank-range primitive distributed fabric workers
+	// drive; disjoint ranges concatenate byte-identically to a full
+	// sweep.
+	SweepCensusRange = census.SweepRange
+	// NewFabricCoordinator builds a campaign coordinator over a ledger
+	// store (recovering completed units from its contents).
+	NewFabricCoordinator = fabric.NewCoordinator
+	// PartitionFabricUnits slices a campaign domain into the disjoint
+	// rank-balanced work units a coordinator leases out.
+	PartitionFabricUnits = fabric.PartitionUnits
+	// FabricWork runs a worker loop against a coordinator until the
+	// campaign completes.
+	FabricWork = fabric.Work
 	// NewCensusExaminer builds a live single-index census query engine.
 	NewCensusExaminer = census.NewExaminer
 	// LoadCensusCheckpoint reads a census checkpoint sidecar.

@@ -16,6 +16,9 @@ package affine
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/adversary"
 	"repro/internal/chromatic"
@@ -42,25 +45,77 @@ const DefaultVariant = VariantUnion
 
 // BuildRA constructs R_A for an n-process system and agreement function
 // α. The adversary must satisfy α(Π) ≥ 1 for the task to be non-empty.
+// The facet filter runs one worker per CPU over the first-round
+// schedules (the rows are independent: each builds its own r1Context);
+// the facet order — and so the task — is identical to the serial scan.
 func BuildRA(u *chromatic.Universe, alpha adversary.AlphaFunc, variant Def9Variant) (*Task, error) {
 	n := u.N()
 	full := procs.FullSet(n)
 	parts := procs.EnumerateOrderedPartitions(full)
+	rows := buildRAFacetRows(alpha, parts, variant, 0)
 	var facets []chromatic.Run2
-	for _, r1 := range parts {
-		pc := newR1Context(alpha, r1)
-		for _, r2 := range parts {
-			run := chromatic.Run2{R1: r1, R2: r2}
-			if raFacetOK(pc, run, variant) {
-				facets = append(facets, run)
-			}
-		}
+	for _, row := range rows {
+		facets = append(facets, row...)
 	}
 	t, err := NewTask(fmt.Sprintf("R_A(n=%d)", n), u, facets)
 	if err != nil {
 		return nil, fmt.Errorf("R_A: %w", err)
 	}
 	return t, nil
+}
+
+// parallelRARows is the row count below which the parallel scan is not
+// worth its goroutines: n=3 has 13 ordered partitions (serial), n=4
+// has 75 and n=5 has 541 (parallel).
+const parallelRARows = 64
+
+// buildRAFacetRows applies the Definition 9 facet filter row by row:
+// rows[i] holds the facets with R1 = parts[i], each row in r2
+// enumeration order. workers <= 0 selects one per CPU; small domains
+// and workers == 1 take the serial path. Every worker builds its own
+// r1Context, so rows share no state and the concatenated output is
+// byte-identical across worker counts.
+func buildRAFacetRows(alpha adversary.AlphaFunc, parts []procs.OrderedPartition, variant Def9Variant, workers int) [][]chromatic.Run2 {
+	rows := make([][]chromatic.Run2, len(parts))
+	row := func(i int) {
+		r1 := parts[i]
+		pc := newR1Context(alpha, r1)
+		for _, r2 := range parts {
+			run := chromatic.Run2{R1: r1, R2: r2}
+			if raFacetOK(pc, run, variant) {
+				rows[i] = append(rows[i], run)
+			}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers == 1 || len(parts) < parallelRARows {
+		for i := range parts {
+			row(i)
+		}
+		return rows
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				row(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return rows
 }
 
 // BuildRAForAdversary is a convenience wrapper deriving α from A.

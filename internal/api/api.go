@@ -1,0 +1,66 @@
+// Package api is the shared v1 HTTP kit: the JSON error envelope,
+// request-id plumbing, middleware (request ids, in-flight gauge,
+// API-key auth + per-key rate limiting, latency/status metrics,
+// structured access logging) and the hand-rolled Prometheus metric
+// primitives behind /metrics. Both v1 surfaces — the store serve layer
+// and the fabric coordinator — are built on it, so their envelopes,
+// headers and exposition format cannot drift.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+type requestIDKey struct{}
+
+// WithRequestID tags a request context with its assigned id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID recovers the id assigned by the middleware ("" outside it).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// ErrorEnvelope is the uniform v1 error body.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries one error's status, message and request id.
+type ErrorBody struct {
+	Code      int    `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// Error writes the JSON error envelope, tagging the request id.
+func Error(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: RequestID(r.Context()),
+	}})
+}
+
+// WriteJSON writes an indented JSON success body.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// ProbePath reports the endpoints exempt from auth: health probes and
+// metric scrapers authenticate out of band (network policy), and
+// locking them out turns every outage into a diagnosis problem.
+func ProbePath(path string) bool {
+	return path == "/healthz" || path == "/readyz" || path == "/metrics"
+}

@@ -1,11 +1,11 @@
-package store
+package api
 
-// API-key authentication and per-key rate limiting for the serve
-// layer. Keys load from a plain text file (one key per line, optional
-// per-key rate and burst), requests present them as a bearer token or
-// X-API-Key header, and each key gets its own token bucket — an
-// over-limit key is throttled (429) without touching any other key's
-// budget. No auth config means an open server (the historical
+// API-key authentication and per-key rate limiting for the v1
+// surfaces. Keys load from a plain text file (one key per line,
+// optional per-key rate and burst), requests present them as a bearer
+// token or X-API-Key header, and each key gets its own token bucket —
+// an over-limit key is throttled (429) without touching any other
+// key's budget. No auth config means an open server (the historical
 // behavior).
 
 import (
@@ -31,7 +31,7 @@ type APIKey struct {
 	Burst float64
 }
 
-// AuthConfig is the serve layer's auth state: the key set and its
+// AuthConfig is a v1 surface's auth state: the key set and its
 // limiters. Safe for concurrent use.
 type AuthConfig struct {
 	keys map[string]*keyState
@@ -50,15 +50,15 @@ type keyState struct {
 // NewAuthConfig builds auth state from explicit keys.
 func NewAuthConfig(keys []APIKey) (*AuthConfig, error) {
 	if len(keys) == 0 {
-		return nil, fmt.Errorf("store: auth enabled with no keys")
+		return nil, fmt.Errorf("api: auth enabled with no keys")
 	}
 	cfg := &AuthConfig{keys: make(map[string]*keyState, len(keys))}
 	for _, k := range keys {
 		if k.Key == "" {
-			return nil, fmt.Errorf("store: empty API key %q", k.Name)
+			return nil, fmt.Errorf("api: empty API key %q", k.Name)
 		}
 		if _, dup := cfg.keys[k.Key]; dup {
-			return nil, fmt.Errorf("store: duplicate API key %q", k.Name)
+			return nil, fmt.Errorf("api: duplicate API key %q", k.Name)
 		}
 		burst := k.Burst
 		if burst <= 0 {
@@ -91,7 +91,7 @@ func NewAuthConfig(keys []APIKey) (*AuthConfig, error) {
 func LoadAPIKeys(path string) (*AuthConfig, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("store: apikeys: %w", err)
+		return nil, fmt.Errorf("api: apikeys: %w", err)
 	}
 	defer f.Close()
 	var keys []APIKey
@@ -105,23 +105,23 @@ func LoadAPIKeys(path string) (*AuthConfig, error) {
 		}
 		parts := strings.Split(line, ":")
 		if len(parts) < 2 {
-			return nil, fmt.Errorf("store: apikeys %s:%d: want name:key[:rate[:burst]]", path, lineNo)
+			return nil, fmt.Errorf("api: apikeys %s:%d: want name:key[:rate[:burst]]", path, lineNo)
 		}
 		k := APIKey{Name: parts[0], Key: parts[1]}
 		if len(parts) > 2 && parts[2] != "" {
 			if k.RatePerSec, err = strconv.ParseFloat(parts[2], 64); err != nil {
-				return nil, fmt.Errorf("store: apikeys %s:%d: bad rate %q", path, lineNo, parts[2])
+				return nil, fmt.Errorf("api: apikeys %s:%d: bad rate %q", path, lineNo, parts[2])
 			}
 		}
 		if len(parts) > 3 && parts[3] != "" {
 			if k.Burst, err = strconv.ParseFloat(parts[3], 64); err != nil {
-				return nil, fmt.Errorf("store: apikeys %s:%d: bad burst %q", path, lineNo, parts[3])
+				return nil, fmt.Errorf("api: apikeys %s:%d: bad burst %q", path, lineNo, parts[3])
 			}
 		}
 		keys = append(keys, k)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("store: apikeys: %w", err)
+		return nil, fmt.Errorf("api: apikeys: %w", err)
 	}
 	return NewAuthConfig(keys)
 }
@@ -145,11 +145,11 @@ func requestKey(r *http.Request) string {
 	return r.Header.Get("X-API-Key")
 }
 
-// admit authorizes one request. It returns the key's display name and
+// Admit authorizes one request. It returns the key's display name and
 // a zero status on success; otherwise the HTTP status to answer (401
 // unknown or missing key, 429 over the key's rate) and, for 429, a
 // suggested Retry-After in seconds.
-func (a *AuthConfig) admit(r *http.Request) (name string, status int, retryAfter int) {
+func (a *AuthConfig) Admit(r *http.Request) (name string, status int, retryAfter int) {
 	ks, ok := a.keys[requestKey(r)]
 	if !ok {
 		return "", http.StatusUnauthorized, 0

@@ -156,6 +156,14 @@ type Options struct {
 	// examineHook, when non-nil, observes every examined index before
 	// its entry is reordered (test instrumentation: any goroutine).
 	examineHook func(idx uint64)
+
+	// startIndex/endIndex clip the sweep to the raw index range
+	// [startIndex, endIndex) — set only through SweepRange, which is
+	// the supported surface (endIndex 0 means the domain end).
+	// Range sweeps never checkpoint: the fabric's lease protocol is
+	// their resume mechanism.
+	startIndex uint64
+	endIndex   uint64
 }
 
 // Entry is the census record of one adversary. Every field is a
@@ -294,11 +302,28 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		}
 	}
 
+	// Range clipping (SweepRange): start at startIndex, stop the sweep
+	// at endIndex as if the domain ended there. Checkpoints record
+	// whole-campaign frontiers, so ranges and sidecars don't mix.
+	end := total
+	if opts.startIndex > 0 || opts.endIndex > 0 {
+		if opts.Checkpoint != "" || opts.Resume {
+			return nil, errors.New("census: range sweeps cannot checkpoint or resume")
+		}
+		if opts.endIndex > 0 && opts.endIndex < total {
+			end = opts.endIndex
+		}
+		start = opts.startIndex
+		if start > end {
+			return nil, fmt.Errorf("census: range start %d beyond end %d", start, end)
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	remaining := total - start
+	remaining := end - start
 	shardSize := uint64(opts.ShardSize)
 	if opts.ShardSize <= 0 {
 		shardSize = remaining / uint64(workers*8)
@@ -381,7 +406,7 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		orbitBlocks = make(chan orbitBlock, workers*4)
 		prodQuit := make(chan struct{})
 		defer close(prodQuit)
-		go produceOrbitBlocks(env.orbits, orbitBlocks, prodQuit, start, total, shardSize, opts.MaxIndices)
+		go produceOrbitBlocks(env.orbits, orbitBlocks, prodQuit, start, end, shardSize, opts.MaxIndices)
 	}
 
 	var cursor atomic.Uint64
@@ -446,8 +471,8 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 				} else {
 					lo := start + s*shardSize
 					hi := lo + shardSize
-					if hi > total {
-						hi = total
+					if hi > end {
+						hi = end
 					}
 					covered = lo
 					for idx := lo; idx < hi; idx++ {

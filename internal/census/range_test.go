@@ -1,0 +1,118 @@
+package census
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+)
+
+// sweepRangeEntries runs SweepRange over [lo, hi) into a Collector.
+func sweepRangeEntries(t *testing.T, n int, opts Options, lo, hi uint64) ([]Entry, *Report) {
+	t.Helper()
+	col := &Collector{}
+	rep, err := SweepRange(n, opts, col, lo, hi)
+	if err != nil {
+		t.Fatalf("SweepRange [%d, %d): %v", lo, hi, err)
+	}
+	if rep.Incomplete {
+		t.Fatalf("SweepRange [%d, %d) incomplete at %d", lo, hi, rep.NextIndex)
+	}
+	return col.Entries, rep
+}
+
+// TestSweepRangePartition: concatenating range sweeps over any
+// partition of the domain reproduces the full sweep byte-for-byte, in
+// both full and orbit mode — the invariant the fabric's disjoint work
+// units rely on for conflict-free merges.
+func TestSweepRangePartition(t *testing.T) {
+	n := 3
+	total := adversary.CensusSize(n)
+	for _, orbits := range []bool{false, true} {
+		opts := Options{Workers: 3, Orbits: orbits}
+		full, err := Run(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Boundaries on arbitrary raw indices, including non-canonical
+		// ones and an empty range.
+		cuts := []uint64{0, 1, 7, 7, total/2 + 1, 100, total}
+		var got []Entry
+		sum := NewSummary(n)
+		for i := 0; i+1 < len(cuts); i++ {
+			part, _ := sweepRangeEntries(t, n, opts, cuts[i], cuts[i+1])
+			for j := range part {
+				sum.Accumulate(&part[j])
+			}
+			got = append(got, part...)
+		}
+
+		a, _ := json.Marshal(full.Entries)
+		b, _ := json.Marshal(got)
+		if string(a) != string(b) {
+			t.Errorf("orbits=%v: concatenated range sweeps differ from the full sweep (%d vs %d entries)",
+				orbits, len(got), len(full.Entries))
+		}
+		if !reflect.DeepEqual(sum, full.Summary) {
+			t.Errorf("orbits=%v: summed range summaries %+v != full summary %+v", orbits, sum, full.Summary)
+		}
+	}
+}
+
+// TestSweepRangeWorkerInvariance: a range sweep is byte-identical at
+// any worker count.
+func TestSweepRangeWorkerInvariance(t *testing.T) {
+	n := 3
+	total := adversary.CensusSize(n)
+	lo, hi := uint64(13), total-9
+	ser, _ := sweepRangeEntries(t, n, Options{Workers: 1, Orbits: true}, lo, hi)
+	par, _ := sweepRangeEntries(t, n, Options{Workers: 8, ShardSize: 5, Orbits: true}, lo, hi)
+	a, _ := json.Marshal(ser)
+	b, _ := json.Marshal(par)
+	if string(a) != string(b) {
+		t.Fatalf("range sweep differs across worker counts (%d vs %d entries)", len(ser), len(par))
+	}
+}
+
+// TestSweepRangeStop: an interrupted range sweep reports Incomplete
+// with a frontier inside the range.
+func TestSweepRangeStop(t *testing.T) {
+	n := 3
+	// A 1ns budget flips the stop flag as the run starts; the slow
+	// examine hook guarantees the sweep is still in flight when it does.
+	opts := Options{Workers: 2, ShardSize: 4, Budget: time.Nanosecond,
+		examineHook: func(uint64) { time.Sleep(time.Millisecond) }}
+	col := &Collector{}
+	rep, err := SweepRange(n, opts, col, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Incomplete {
+		t.Fatal("stopped range sweep not reported incomplete")
+	}
+	if rep.NextIndex < 5 || rep.NextIndex >= 100 {
+		t.Fatalf("stopped frontier %d outside [5, 100)", rep.NextIndex)
+	}
+}
+
+// TestSweepRangeRejects: the guards on domain bounds and
+// checkpoint/budget coupling.
+func TestSweepRangeRejects(t *testing.T) {
+	n := 3
+	total := adversary.CensusSize(n)
+	if _, err := SweepRange(n, Options{}, nil, 10, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := SweepRange(n, Options{}, nil, 0, total+1); err == nil {
+		t.Error("range beyond the domain accepted")
+	}
+	if _, err := SweepRange(n, Options{Checkpoint: "x", Resume: true}, nil, 0, 5); err == nil {
+		t.Error("checkpointed range sweep accepted")
+	}
+	if _, err := SweepRange(n, Options{MaxIndices: 3}, nil, 0, 5); err == nil {
+		t.Error("MaxIndices range sweep accepted")
+	}
+}

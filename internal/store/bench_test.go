@@ -55,10 +55,7 @@ func BenchmarkCensusStoreLookup(b *testing.B) {
 // (handler, store, LRU) under sequential load.
 func BenchmarkCensusServeClassify(b *testing.B) {
 	st := benchStore(b)
-	srv, err := NewSingleServer(st, ServerOptions{})
-	if err != nil {
-		b.Fatal(err)
-	}
+	srv := registryServer(b, st, ServerOptions{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	total := adversary.CensusSize(4)

@@ -1,0 +1,46 @@
+package store
+
+// Compatibility surface. Two generations of plumbing live here so the
+// historical store-package names — and the public fact facade built on
+// them — keep compiling unchanged:
+//
+//   - The v1 API kit (error envelope, request ids, middleware, metric
+//     primitives, API-key auth) moved to internal/api, shared with the
+//     fabric coordinator; the store names alias it.
+//   - The one-store serving constructor predates the Registry; it
+//     remains as a thin shim over the registry path.
+
+import "repro/internal/api"
+
+// APIKey is one authorized key with its rate budget.
+//
+// It aliases the shared kit's api.APIKey.
+type APIKey = api.APIKey
+
+// AuthConfig is the serve layer's auth state: the key set and its
+// limiters. Safe for concurrent use.
+//
+// It aliases the shared kit's api.AuthConfig.
+type AuthConfig = api.AuthConfig
+
+// NewAuthConfig builds auth state from explicit keys.
+var NewAuthConfig = api.NewAuthConfig
+
+// LoadAPIKeys reads a key file of name:key[:rate[:burst]] lines.
+var LoadAPIKeys = api.LoadAPIKeys
+
+// NewSingleServer builds the serving layer over exactly one store,
+// mounted as "store".
+//
+// Deprecated: the single-store path predates the Registry. New code
+// should build a Registry, Mount each store, and call NewServer — this
+// shim is exactly that sequence (TestSingleServerEquivalence pins it)
+// and exists only for the historical API and the fact.NewCensusServer
+// facade.
+func NewSingleServer(st *Store, opts ServerOptions) (*Server, error) {
+	reg := NewRegistry()
+	if err := reg.Mount("store", st); err != nil {
+		return nil, err
+	}
+	return NewServer(reg, opts)
+}

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/census"
+)
+
+// TestSingleServerEquivalence pins the deprecated one-store shim to the
+// Registry construction path: the same store served through
+// NewSingleServer and through NewRegistry+Mount+NewServer answers
+// byte-identically.
+func TestSingleServerEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	shard, _ := censusJSONL(t, dir, "shard.jsonl", 3, census.Options{Workers: 1, Orbits: true})
+	st, err := Create(filepath.Join(dir, "store"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Merge([]string{shard}, MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	shim, err := NewSingleServer(st, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := registryServer(t, st, ServerOptions{})
+
+	tsShim := httptest.NewServer(shim.Handler())
+	defer tsShim.Close()
+	tsFull := httptest.NewServer(full.Handler())
+	defer tsFull.Close()
+
+	fetch := func(base, path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	for _, path := range []string{
+		"/v1/stores",
+		"/v1/classify?n=3&index=0",
+		"/v1/entries?n=3&limit=16",
+		"/v1/summary?n=3",
+	} {
+		codeA, bodyA := fetch(tsShim.URL, path)
+		codeB, bodyB := fetch(tsFull.URL, path)
+		if codeA != codeB {
+			t.Errorf("%s: shim status %d, registry status %d", path, codeA, codeB)
+		}
+		if bodyA != bodyB {
+			t.Errorf("%s: shim and registry bodies differ:\n%s\nvs\n%s", path, bodyA, bodyB)
+		}
+	}
+}

@@ -1,156 +1,43 @@
 package store
 
-// Hand-rolled Prometheus-format metrics for the serve layer: counters,
-// label-vector counters and fixed-bucket histograms backed by atomics,
-// with text exposition on /metrics. No client library — the exposition
-// format is a few lines of text and the serve layer needs exactly
-// counters, histograms and scrape-time gauges.
+// The serve layer's metric set, built on the shared Prometheus-format
+// primitives in internal/api: the kit's request families plus the
+// store-specific counters, the compute-latency histogram and
+// scrape-time gauges over the mounted stores and the shared tower
+// cache.
 
 import (
 	"fmt"
 	"io"
-	"math"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/api"
 )
 
-// counterVec is a labeled counter family (one label dimension set at
-// construction; values materialize on first use).
-type counterVec struct {
-	name   string
-	help   string
-	labels []string
-
-	mu   sync.Mutex
-	vals map[string]*atomic.Uint64 // key: joined label values
-}
-
-func newCounterVec(name, help string, labels ...string) *counterVec {
-	return &counterVec{name: name, help: help, labels: labels, vals: make(map[string]*atomic.Uint64)}
-}
-
-func (c *counterVec) with(values ...string) *atomic.Uint64 {
-	key := strings.Join(values, "\x00")
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.vals[key]
-	if !ok {
-		v = new(atomic.Uint64)
-		c.vals[key] = v
-	}
-	return v
-}
-
-func (c *counterVec) write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
-	c.mu.Lock()
-	keys := make([]string, 0, len(c.vals))
-	for k := range c.vals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	type kv struct {
-		key string
-		val uint64
-	}
-	rows := make([]kv, 0, len(keys))
-	for _, k := range keys {
-		rows = append(rows, kv{k, c.vals[k].Load()})
-	}
-	c.mu.Unlock()
-	for _, r := range rows {
-		values := strings.Split(r.key, "\x00")
-		parts := make([]string, len(c.labels))
-		for i, l := range c.labels {
-			parts[i] = fmt.Sprintf("%s=%q", l, values[i])
-		}
-		fmt.Fprintf(w, "%s{%s} %d\n", c.name, strings.Join(parts, ","), r.val)
-	}
-}
-
-// histogram is a fixed-bucket Prometheus histogram (cumulative buckets
-// materialized at exposition; observation is two atomic adds and a
-// bucket increment).
-type histogram struct {
-	name    string
-	help    string
-	buckets []float64 // upper bounds, ascending
-	counts  []atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits
-	count   atomic.Uint64
-}
-
-// defaultLatencyBuckets span sub-millisecond store hits through
-// multi-second live solves.
-var defaultLatencyBuckets = []float64{
-	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
-}
-
-func newHistogram(name, help string, buckets []float64) *histogram {
-	return &histogram{name: name, help: help, buckets: buckets, counts: make([]atomic.Uint64, len(buckets))}
-}
-
-func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(h.buckets, v)
-	if i < len(h.counts) {
-		h.counts[i].Add(1)
-	}
-	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
-	}
-}
-
-func (h *histogram) write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
-	var cum uint64
-	for i, ub := range h.buckets {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.count.Load())
-	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(math.Float64frombits(h.sumBits.Load())))
-	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
-}
-
-func formatFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
-}
-
-// metrics is the serve layer's metric set.
+// metrics is the serve layer's metric set. The http set (requests,
+// auth rejections, request latency, in-flight gauge) is fed by the
+// api middleware; the rest by the classify/solve paths.
 type metrics struct {
-	requests       *counterVec // path, code
-	authRejected   *counterVec // reason: unauthorized | ratelimited
-	storeHits      *counterVec // n
-	storeMisses    *counterVec // n
-	cacheHits      *counterVec // n
-	rehydrated     *counterVec // n
-	computed       *counterVec // n
-	persisted      *counterVec // n
-	requestSeconds *histogram
-	computeSeconds *histogram
-	inflight       atomic.Int64
+	http           *api.HTTPMetrics
+	storeHits      *api.CounterVec // n
+	storeMisses    *api.CounterVec // n
+	cacheHits      *api.CounterVec // n
+	rehydrated     *api.CounterVec // n
+	computed       *api.CounterVec // n
+	persisted      *api.CounterVec // n
+	computeSeconds *api.Histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:     newCounterVec("factool_requests_total", "HTTP requests by path and status code.", "path", "code"),
-		authRejected: newCounterVec("factool_auth_rejected_total", "Requests rejected by API-key auth or rate limiting.", "reason"),
-		storeHits:    newCounterVec("factool_store_hits_total", "Classify lookups answered directly from a store.", "n"),
-		storeMisses:  newCounterVec("factool_store_misses_total", "Classify lookups the stores could not answer (live-computed).", "n"),
-		cacheHits:    newCounterVec("factool_entry_cache_hits_total", "Classify lookups answered from the in-memory entry LRU.", "n"),
-		rehydrated:   newCounterVec("factool_store_rehydrated_total", "Classify lookups answered by rehydrating an orbit representative.", "n"),
-		computed:     newCounterVec("factool_computed_total", "Entries computed on the live examination path.", "n"),
-		persisted:    newCounterVec("factool_persisted_total", "Live-computed entries written back to a store.", "n"),
-		requestSeconds: newHistogram("factool_request_seconds",
-			"End-to-end request latency in seconds.", defaultLatencyBuckets),
-		computeSeconds: newHistogram("factool_compute_seconds",
-			"Live classify/solve computation latency in seconds.", defaultLatencyBuckets),
+		http:        api.NewHTTPMetrics("factool"),
+		storeHits:   api.NewCounterVec("factool_store_hits_total", "Classify lookups answered directly from a store.", "n"),
+		storeMisses: api.NewCounterVec("factool_store_misses_total", "Classify lookups the stores could not answer (live-computed).", "n"),
+		cacheHits:   api.NewCounterVec("factool_entry_cache_hits_total", "Classify lookups answered from the in-memory entry LRU.", "n"),
+		rehydrated:  api.NewCounterVec("factool_store_rehydrated_total", "Classify lookups answered by rehydrating an orbit representative.", "n"),
+		computed:    api.NewCounterVec("factool_computed_total", "Entries computed on the live examination path.", "n"),
+		persisted:   api.NewCounterVec("factool_persisted_total", "Live-computed entries written back to a store.", "n"),
+		computeSeconds: api.NewHistogram("factool_compute_seconds",
+			"Live classify/solve computation latency in seconds.", api.DefaultLatencyBuckets),
 	}
 }
 
@@ -158,19 +45,14 @@ func newMetrics() *metrics {
 // plus scrape-time gauges over the mounted stores and the shared tower
 // cache.
 func (m *metrics) writeTo(w io.Writer, s *Server) {
-	m.requests.write(w)
-	m.authRejected.write(w)
-	m.storeHits.write(w)
-	m.storeMisses.write(w)
-	m.cacheHits.write(w)
-	m.rehydrated.write(w)
-	m.computed.write(w)
-	m.persisted.write(w)
-	m.requestSeconds.write(w)
-	m.computeSeconds.write(w)
-
-	fmt.Fprintf(w, "# HELP factool_inflight_requests Requests currently being served.\n# TYPE factool_inflight_requests gauge\n")
-	fmt.Fprintf(w, "factool_inflight_requests %d\n", m.inflight.Load())
+	m.http.Write(w)
+	m.storeHits.Write(w)
+	m.storeMisses.Write(w)
+	m.cacheHits.Write(w)
+	m.rehydrated.Write(w)
+	m.computed.Write(w)
+	m.persisted.Write(w)
+	m.computeSeconds.Write(w)
 
 	fmt.Fprintf(w, "# HELP factool_store_entries Entries resident in each mounted store.\n# TYPE factool_store_entries gauge\n")
 	mounts := s.reg.Mounts()
@@ -194,6 +76,6 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 		{"factool_tower_cache_misses", "Subdivision cache misses.", cs.Misses},
 		{"factool_tower_cache_evictions", "Subdivision cache evictions.", cs.Evictions},
 	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.val)
+		api.WriteGauge(w, g.name, g.help, g.val)
 	}
 }

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/api"
 	"repro/internal/census"
 	"repro/internal/chromatic"
 )
@@ -91,14 +92,12 @@ type Server struct {
 	opts   ServerOptions
 	tcache *chromatic.TowerCache
 	m      *metrics
-	logger *accessLogger
+	mw     *api.Middleware
 
 	mu     sync.RWMutex
 	states map[int]*mountState
 
-	reqSeq   atomic.Uint64
-	reqEpoch string
-	started  time.Time
+	started time.Time
 
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -150,17 +149,18 @@ func NewServer(reg *Registry, opts ServerOptions) (*Server, error) {
 		tcache = chromatic.NewTowerCache()
 	}
 	s := &Server{
-		reg:      reg,
-		opts:     opts,
-		tcache:   tcache,
-		m:        newMetrics(),
-		states:   make(map[int]*mountState),
-		reqEpoch: fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
-		started:  time.Now(),
+		reg:     reg,
+		opts:    opts,
+		tcache:  tcache,
+		m:       newMetrics(),
+		states:  make(map[int]*mountState),
+		started: time.Now(),
 	}
-	if opts.AccessLog != nil {
-		s.logger = &accessLogger{w: opts.AccessLog}
-	}
+	s.mw = api.NewMiddleware(api.MiddlewareOptions{
+		Metrics:   s.m.http,
+		Auth:      opts.Auth,
+		AccessLog: opts.AccessLog,
+	})
 	for _, mt := range reg.Mounts() {
 		if _, err := s.state(mt.N()); err != nil {
 			return nil, err
@@ -168,17 +168,6 @@ func NewServer(reg *Registry, opts ServerOptions) (*Server, error) {
 	}
 	s.ready.Store(true)
 	return s, nil
-}
-
-// NewSingleServer builds the serving layer over one store — the
-// compatibility wrapper for the historical single-store API (and the
-// fact.NewCensusServer shim). The store is mounted as "store".
-func NewSingleServer(st *Store, opts ServerOptions) (*Server, error) {
-	reg := NewRegistry()
-	if err := reg.Mount("store", st); err != nil {
-		return nil, err
-	}
-	return NewServer(reg, opts)
 }
 
 // state returns (building lazily) the serving state of the mount for n.
@@ -236,151 +225,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return s.instrument(mux)
-}
-
-// probePath reports the endpoints exempt from auth: health probes and
-// metric scrapers authenticate out of band (network policy), and
-// locking them out turns every outage into a diagnosis problem.
-func probePath(path string) bool {
-	return path == "/healthz" || path == "/readyz" || path == "/metrics"
-}
-
-// statusWriter captures the response status and size for metrics and
-// the access log.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-	bytes  int64
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusWriter) Write(b []byte) (int, error) {
-	if w.status == 0 {
-		w.status = http.StatusOK
-	}
-	n, err := w.ResponseWriter.Write(b)
-	w.bytes += int64(n)
-	return n, err
-}
-
-// Flush forwards streaming flushes (the JSONL range scan).
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// instrument is the middleware chain: request id, in-flight gauge,
-// auth + rate limiting, latency/status metrics, access logging.
-func (s *Server) instrument(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		reqID := fmt.Sprintf("%s-%06d", s.reqEpoch, s.reqSeq.Add(1))
-		w.Header().Set("X-Request-Id", reqID)
-		sw := &statusWriter{ResponseWriter: w}
-		r = r.WithContext(withRequestID(r.Context(), reqID))
-		s.m.inflight.Add(1)
-		defer s.m.inflight.Add(-1)
-
-		keyName := ""
-		if s.opts.Auth != nil && !probePath(r.URL.Path) {
-			name, status, retryAfter := s.opts.Auth.admit(r)
-			keyName = name
-			switch status {
-			case http.StatusUnauthorized:
-				s.m.authRejected.with("unauthorized").Add(1)
-				httpError(sw, r, http.StatusUnauthorized, "missing or unknown API key")
-			case http.StatusTooManyRequests:
-				s.m.authRejected.with("ratelimited").Add(1)
-				sw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-				httpError(sw, r, http.StatusTooManyRequests, "rate limit exceeded for this API key")
-			default:
-				next.ServeHTTP(sw, r)
-			}
-		} else {
-			next.ServeHTTP(sw, r)
-		}
-
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		dur := time.Since(start)
-		s.m.requests.with(r.URL.Path, strconv.Itoa(sw.status)).Add(1)
-		s.m.requestSeconds.observe(dur.Seconds())
-		if s.logger != nil {
-			s.logger.log(accessRecord{
-				Time:      start.UTC().Format(time.RFC3339Nano),
-				Level:     "info",
-				Msg:       "request",
-				Method:    r.Method,
-				Path:      r.URL.Path,
-				Query:     r.URL.RawQuery,
-				Status:    sw.status,
-				Bytes:     sw.bytes,
-				DurMs:     float64(dur.Microseconds()) / 1e3,
-				RequestID: reqID,
-				Key:       keyName,
-				Remote:    r.RemoteAddr,
-			})
-		}
-	})
-}
-
-// errorEnvelope is the uniform v1 error body.
-type errorEnvelope struct {
-	Error errorBody `json:"error"`
-}
-
-type errorBody struct {
-	Code      int    `json:"code"`
-	Message   string `json:"message"`
-	RequestID string `json:"request_id,omitempty"`
-}
-
-// httpError writes the JSON error envelope, tagging the request id.
-func httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{
-		Code:      code,
-		Message:   fmt.Sprintf(format, args...),
-		RequestID: requestID(r.Context()),
-	}})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	return s.mw.Wrap(mux)
 }
 
 // mountFor routes a request's n parameter to its serving state,
 // answering the envelope for missing/invalid/unmounted n.
 func (s *Server) mountFor(w http.ResponseWriter, r *http.Request, nStr string) (*mountState, bool) {
 	if nStr == "" {
-		httpError(w, r, http.StatusBadRequest, "missing n parameter (mounted: n=%v)", s.reg.Ns())
+		api.Error(w, r, http.StatusBadRequest, "missing n parameter (mounted: n=%v)", s.reg.Ns())
 		return nil, false
 	}
 	n, err := strconv.Atoi(nStr)
 	if err != nil {
-		httpError(w, r, http.StatusBadRequest, "bad n %q", nStr)
+		api.Error(w, r, http.StatusBadRequest, "bad n %q", nStr)
 		return nil, false
 	}
 	ms, err := s.state(n)
 	if err != nil {
-		httpError(w, r, http.StatusInternalServerError, "mount n=%d: %v", n, err)
+		api.Error(w, r, http.StatusInternalServerError, "mount n=%d: %v", n, err)
 		return nil, false
 	}
 	if ms == nil {
-		httpError(w, r, http.StatusNotFound, "n=%d not mounted (mounted: n=%v)", n, s.reg.Ns())
+		api.Error(w, r, http.StatusNotFound, "n=%d not mounted (mounted: n=%v)", n, s.reg.Ns())
 		return nil, false
 	}
 	return ms, true
@@ -389,12 +255,12 @@ func (s *Server) mountFor(w http.ResponseWriter, r *http.Request, nStr string) (
 // parseIndex validates one index against the mount's domain.
 func (ms *mountState) parseIndex(w http.ResponseWriter, r *http.Request, idxStr string) (uint64, bool) {
 	if idxStr == "" {
-		httpError(w, r, http.StatusBadRequest, "missing index parameter")
+		api.Error(w, r, http.StatusBadRequest, "missing index parameter")
 		return 0, false
 	}
 	idx, err := strconv.ParseUint(idxStr, 10, 64)
 	if err != nil || idx >= adversary.CensusSize(ms.mount.N()) {
-		httpError(w, r, http.StatusBadRequest, "index %s outside the n=%d domain [0, %d)",
+		api.Error(w, r, http.StatusBadRequest, "index %s outside the n=%d domain [0, %d)",
 			idxStr, ms.mount.N(), adversary.CensusSize(ms.mount.N()))
 		return 0, false
 	}
@@ -436,14 +302,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		e, source, err := s.classifyIndex(ms, idx)
 		if err != nil {
-			httpError(w, r, http.StatusInternalServerError, "classify %d: %v", idx, err)
+			api.Error(w, r, http.StatusInternalServerError, "classify %d: %v", idx, err)
 			return
 		}
-		writeJSON(w, classifyResponse{N: ms.mount.N(), Index: idx, Source: source, Entry: e})
+		api.WriteJSON(w, classifyResponse{N: ms.mount.N(), Index: idx, Source: source, Entry: e})
 	case http.MethodPost:
 		var req batchClassifyRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<22)).Decode(&req); err != nil {
-			httpError(w, r, http.StatusBadRequest, "bad body: %v", err)
+			api.Error(w, r, http.StatusBadRequest, "bad body: %v", err)
 			return
 		}
 		ms, ok := s.mountFor(w, r, strconv.Itoa(req.N))
@@ -451,17 +317,17 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(req.Indices) == 0 {
-			httpError(w, r, http.StatusBadRequest, "empty indices")
+			api.Error(w, r, http.StatusBadRequest, "empty indices")
 			return
 		}
 		if len(req.Indices) > s.opts.MaxBatch {
-			httpError(w, r, http.StatusBadRequest, "%d indices exceed the batch cap %d", len(req.Indices), s.opts.MaxBatch)
+			api.Error(w, r, http.StatusBadRequest, "%d indices exceed the batch cap %d", len(req.Indices), s.opts.MaxBatch)
 			return
 		}
 		domain := adversary.CensusSize(ms.mount.N())
 		for _, idx := range req.Indices {
 			if idx >= domain {
-				httpError(w, r, http.StatusBadRequest, "index %d outside the n=%d domain [0, %d)", idx, ms.mount.N(), domain)
+				api.Error(w, r, http.StatusBadRequest, "index %d outside the n=%d domain [0, %d)", idx, ms.mount.N(), domain)
 				return
 			}
 		}
@@ -469,14 +335,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		for i, idx := range req.Indices {
 			e, source, err := s.classifyIndex(ms, idx)
 			if err != nil {
-				httpError(w, r, http.StatusInternalServerError, "classify %d: %v", idx, err)
+				api.Error(w, r, http.StatusInternalServerError, "classify %d: %v", idx, err)
 				return
 			}
 			resp.Results[i] = classifyResponse{N: ms.mount.N(), Index: idx, Source: source, Entry: e}
 		}
-		writeJSON(w, resp)
+		api.WriteJSON(w, resp)
 	default:
-		httpError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		api.Error(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	}
 }
 
@@ -485,7 +351,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) classifyIndex(ms *mountState, idx uint64) (*census.Entry, string, error) {
 	if e, ok := ms.lru.get(idx); ok {
 		s.cacheHits.Add(1)
-		s.m.cacheHits.with(ms.nLabel).Add(1)
+		s.m.cacheHits.With(ms.nLabel).Add(1)
 		return e, "cache", nil
 	}
 	st := ms.mount.Store()
@@ -496,13 +362,13 @@ func (s *Server) classifyIndex(ms *mountState, idx uint64) (*census.Entry, strin
 	switch src {
 	case LookupDirect:
 		s.storeHits.Add(1)
-		s.m.storeHits.with(ms.nLabel).Add(1)
+		s.m.storeHits.With(ms.nLabel).Add(1)
 		e = stripOrbitSize(e)
 		ms.lru.put(idx, e)
 		return e, "store", nil
 	case LookupRehydrated:
 		s.rehydrated.Add(1)
-		s.m.rehydrated.with(ms.nLabel).Add(1)
+		s.m.rehydrated.With(ms.nLabel).Add(1)
 		ms.lru.put(idx, e)
 		return e, "store-rehydrated", nil
 	}
@@ -512,20 +378,20 @@ func (s *Server) classifyIndex(ms *mountState, idx uint64) (*census.Entry, strin
 	// recoverable, so a classify-only entry would conflict with the
 	// completed sweep's bytes on a later merge.
 	s.computed.Add(1)
-	s.m.storeMisses.with(ms.nLabel).Add(1)
-	s.m.computed.with(ms.nLabel).Add(1)
+	s.m.storeMisses.With(ms.nLabel).Add(1)
+	s.m.computed.With(ms.nLabel).Add(1)
 	t0 := time.Now()
 	e, persist, err := s.computeEntry(ms, idx)
 	if err != nil {
 		return nil, "", err
 	}
-	s.m.computeSeconds.observe(time.Since(t0).Seconds())
+	s.m.computeSeconds.Observe(time.Since(t0).Seconds())
 	if !s.opts.ReadOnly && !st.SolveMode() {
 		if added, err := st.PutNew(persist); err != nil {
 			return nil, "", err
 		} else if added {
 			s.persisted.Add(1)
-			s.m.persisted.with(ms.nLabel).Add(1)
+			s.m.persisted.With(ms.nLabel).Add(1)
 		}
 	}
 	ms.lru.put(idx, e)
@@ -581,7 +447,7 @@ type entriesResponse struct {
 func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		httpError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		api.Error(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	q := r.URL.Query()
@@ -594,18 +460,18 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if v := q.Get("from"); v != "" {
 		if from, err = strconv.ParseUint(v, 10, 64); err != nil {
-			httpError(w, r, http.StatusBadRequest, "bad from %q", v)
+			api.Error(w, r, http.StatusBadRequest, "bad from %q", v)
 			return
 		}
 	}
 	if v := q.Get("to"); v != "" {
 		if to, err = strconv.ParseUint(v, 10, 64); err != nil {
-			httpError(w, r, http.StatusBadRequest, "bad to %q", v)
+			api.Error(w, r, http.StatusBadRequest, "bad to %q", v)
 			return
 		}
 	}
 	if from > domain || to > domain || from > to {
-		httpError(w, r, http.StatusBadRequest, "range [%d, %d) outside the n=%d domain [0, %d]",
+		api.Error(w, r, http.StatusBadRequest, "range [%d, %d) outside the n=%d domain [0, %d]",
 			from, to, ms.mount.N(), domain)
 		return
 	}
@@ -613,7 +479,7 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		l, err := strconv.Atoi(v)
 		if err != nil || l < 1 {
-			httpError(w, r, http.StatusBadRequest, "bad limit %q", v)
+			api.Error(w, r, http.StatusBadRequest, "bad limit %q", v)
 			return
 		}
 		if l > s.opts.MaxRangeLimit {
@@ -633,7 +499,7 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 				// Before the first byte the envelope still works; after,
 				// the only honest signal is cutting the stream short.
 				if !wrote {
-					httpError(w, r, http.StatusInternalServerError, "range: %v", err)
+					api.Error(w, r, http.StatusInternalServerError, "range: %v", err)
 				}
 				return
 			}
@@ -653,7 +519,7 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 	}
 	page, err := st.Range(from, to, limit)
 	if err != nil {
-		httpError(w, r, http.StatusInternalServerError, "range: %v", err)
+		api.Error(w, r, http.StatusInternalServerError, "range: %v", err)
 		return
 	}
 	resp := entriesResponse{
@@ -670,7 +536,7 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 	if page.More {
 		resp.NextFrom = page.Next
 	}
-	writeJSON(w, resp)
+	api.WriteJSON(w, resp)
 }
 
 // summaryResponse is the /v1/summary envelope.
@@ -683,7 +549,7 @@ type summaryResponse struct {
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		httpError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		api.Error(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	ms, ok := s.mountFor(w, r, r.URL.Query().Get("n"))
@@ -692,10 +558,10 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	}
 	sum, err := ms.mount.Store().Summary()
 	if err != nil {
-		httpError(w, r, http.StatusInternalServerError, "summary: %v", err)
+		api.Error(w, r, http.StatusInternalServerError, "summary: %v", err)
 		return
 	}
-	writeJSON(w, summaryResponse{N: ms.mount.N(), Summary: sum, Store: ms.mount.Store().Stats()})
+	api.WriteJSON(w, summaryResponse{N: ms.mount.N(), Summary: sum, Store: ms.mount.Store().Stats()})
 }
 
 // solveResponse is the /v1/solve envelope.
@@ -718,7 +584,7 @@ type solveResponse struct {
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		httpError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		api.Error(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	q := r.URL.Query()
@@ -735,7 +601,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("ktask"); v != "" {
 		k, err := strconv.Atoi(v)
 		if err != nil || k < 1 || k > n {
-			httpError(w, r, http.StatusBadRequest, "ktask %q outside [1, %d]", v, n)
+			api.Error(w, r, http.StatusBadRequest, "ktask %q outside [1, %d]", v, n)
 			return
 		}
 		kTask = k
@@ -744,7 +610,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("rounds"); v != "" {
 		l, err := strconv.Atoi(v)
 		if err != nil || l < 1 || l > 4 {
-			httpError(w, r, http.StatusBadRequest, "rounds %q outside [1, 4]", v)
+			api.Error(w, r, http.StatusBadRequest, "rounds %q outside [1, 4]", v)
 			return
 		}
 		maxRounds = l
@@ -757,19 +623,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Universe: ms.universe, Cache: s.tcache,
 	})
 	if err != nil {
-		httpError(w, r, http.StatusInternalServerError, "solve: %v", err)
+		api.Error(w, r, http.StatusInternalServerError, "solve: %v", err)
 		return
 	}
 	s.computed.Add(1)
-	s.m.computed.with(ms.nLabel).Add(1)
+	s.m.computed.With(ms.nLabel).Add(1)
 	t0 := time.Now()
 	e, err := ex.Examine(idx)
 	if err != nil {
-		httpError(w, r, http.StatusInternalServerError, "solve %d: %v", idx, err)
+		api.Error(w, r, http.StatusInternalServerError, "solve %d: %v", idx, err)
 		return
 	}
-	s.m.computeSeconds.observe(time.Since(t0).Seconds())
-	writeJSON(w, solveResponse{
+	s.m.computeSeconds.Observe(time.Since(t0).Seconds())
+	api.WriteJSON(w, solveResponse{
 		N: n, Index: idx, Adversary: e.Adversary,
 		Fair: e.Fair, Setcon: e.Setcon,
 		KTask: kTask, MaxRounds: maxRounds,
@@ -815,7 +681,7 @@ func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
 			Stats:  stats,
 		})
 	}
-	writeJSON(w, resp)
+	api.WriteJSON(w, resp)
 }
 
 // healthzResponse is the /healthz envelope: liveness plus the
@@ -833,7 +699,7 @@ type healthzResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, healthzResponse{
+	api.WriteJSON(w, healthzResponse{
 		Status:     "ok",
 		Mounts:     s.reg.Ns(),
 		UptimeSec:  int64(time.Since(s.started).Seconds()),
@@ -850,12 +716,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		w.WriteHeader(http.StatusServiceUnavailable)
-		writeJSON(w, map[string]string{"status": "draining"})
+		api.WriteJSON(w, map[string]string{"status": "draining"})
 	case !s.ready.Load():
 		w.WriteHeader(http.StatusServiceUnavailable)
-		writeJSON(w, map[string]string{"status": "starting"})
+		api.WriteJSON(w, map[string]string{"status": "starting"})
 	default:
-		writeJSON(w, map[string]string{"status": "ready"})
+		api.WriteJSON(w, map[string]string{"status": "ready"})
 	}
 }
 

@@ -26,11 +26,22 @@ func newTestServer(t *testing.T, n int, shardOpts census.Options, srvOpts Server
 	if _, err := st.Merge([]string{shard}, MergeOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewSingleServer(st, srvOpts)
-	if err != nil {
-		t.Fatal(err)
+	return registryServer(t, st, srvOpts), st
+}
+
+// registryServer mounts one store in a fresh registry and builds the
+// serving layer over it — the canonical construction path.
+func registryServer(tb testing.TB, st *Store, srvOpts ServerOptions) *Server {
+	tb.Helper()
+	reg := NewRegistry()
+	if err := reg.Mount("store", st); err != nil {
+		tb.Fatal(err)
 	}
-	return srv, st
+	srv, err := NewServer(reg, srvOpts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return srv
 }
 
 func getJSON(t *testing.T, url string, v any) int {
@@ -136,10 +147,7 @@ func TestServeMissComputesAndPersists(t *testing.T) {
 	// A fresh server over the same store must find the persisted
 	// answer without recomputing (the write-back stored the canonical
 	// representative, so index 100 resolves through its orbit).
-	srv2, err := NewSingleServer(st, ServerOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	srv2 := registryServer(t, st, ServerOptions{})
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
 	getJSON(t, ts2.URL+"/v1/classify?n=3&index=100", &got)

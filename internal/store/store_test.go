@@ -410,10 +410,7 @@ func TestSolveStoreDisablesWriteBack(t *testing.T) {
 	if !st.SolveMode() {
 		t.Fatal("store of a -solve sweep not marked solve-mode")
 	}
-	srv, err := NewSingleServer(st, ServerOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	srv := registryServer(t, st, ServerOptions{})
 	ms, err := srv.state(3)
 	if err != nil {
 		t.Fatal(err)
