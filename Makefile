@@ -3,8 +3,9 @@ GO ?= go
 # Package scope for test/bench targets, e.g. `make bench PKG=./internal/chromatic`.
 PKG ?= ./...
 
-# Hot paths gated by the CI bench-track job (>20% ns/op regressions fail).
-BENCH_TRACK ?= ApplyAffine|Solve|Census|Orbit
+# Hot paths gated by the CI bench-track job (>20% ns/op, allocs/op, or
+# custom-metric — e.g. serve p99 — regressions fail).
+BENCH_TRACK ?= ApplyAffine|Solve|Census|Orbit|Serve
 
 .PHONY: all build test race bench bench-track fmt vet ci
 

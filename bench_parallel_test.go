@@ -40,19 +40,21 @@ func BenchmarkParallelApplyAffine(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		member := ra.Membership()
 		input := tasks.StandardInput(c.n)
 		// On a single-CPU host still exercise the concurrent engine.
 		workers := chromatic.DefaultWorkers()
 		if workers < 2 {
 			workers = 2
 		}
+		// The task is consumed directly as a chromatic.MemberTables
+		// provider — the engine's primary (rank-indexed) entry point;
+		// the callback path is pinned equivalent by tests elsewhere.
 		// Byte-identical outputs across worker counts (acceptance check).
-		serial, err := chromatic.ApplyAffineWorkers(input, member, 1)
+		serial, err := chromatic.ApplyAffineTables(input, ra, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		parallel, err := chromatic.ApplyAffineWorkers(input, member, workers)
+		parallel, err := chromatic.ApplyAffineTables(input, ra, workers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,14 +63,14 @@ func BenchmarkParallelApplyAffine(b *testing.B) {
 		}
 		b.Run(c.name+"/serial", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := chromatic.ApplyAffineWorkers(input, member, 1); err != nil {
+				if _, err := chromatic.ApplyAffineTables(input, ra, 1); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(c.name+"/parallel", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := chromatic.ApplyAffineWorkers(input, member, workers); err != nil {
+				if _, err := chromatic.ApplyAffineTables(input, ra, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -2,12 +2,17 @@
 // stable JSON artifact and gates benchmark regressions in CI:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson convert -out BENCH_123.json
-//	benchjson compare -old BENCH_prev.json -new BENCH_123.json -threshold 20 -match 'ApplyAffine|Solve|Census'
+//	benchjson compare -old BENCH_prev.json -new BENCH_123.json -threshold 20 -alloc-threshold 20 -match 'ApplyAffine|Solve|Census'
 //
 // convert parses the text format into {benchmarks: [{name, pkg, runs,
-// ns_per_op, bytes_per_op, allocs_per_op}]}. compare matches benchmarks
-// by (pkg, name) and fails (exit 1) when any benchmark matching -match
-// regressed in ns/op by more than -threshold percent.
+// ns_per_op, bytes_per_op, allocs_per_op, metrics}]}; metrics holds any
+// custom b.ReportMetric units (e.g. the serve bench's p99-ns/op).
+// compare matches benchmarks by (pkg, name) and fails (exit 1) when any
+// benchmark matching -match regressed in ns/op or a custom metric by
+// more than -threshold percent, or in allocs/op by more than
+// -alloc-threshold percent (benchmarks allocating fewer than 64
+// allocs/op are below the alloc-gate floor: percentage swings there are
+// noise, not regressions).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -30,6 +36,10 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+
+	// Metrics holds custom b.ReportMetric values by unit, e.g.
+	// "p99-ns/op" from the serve latency benchmark.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the JSON artifact schema.
@@ -146,6 +156,14 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			// Custom b.ReportMetric units ride along by name.
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = f
+			}
 		}
 	}
 	if b.NsPerOp == 0 {
@@ -160,11 +178,31 @@ type Delta struct {
 	OldNs   float64
 	NewNs   float64
 	Percent float64 // (new-old)/old * 100
+
+	OldBytes, NewBytes   int64
+	OldAllocs, NewAllocs int64
+	AllocPercent         float64 // allocs/op delta; 0 when old is 0
+
+	Metrics []MetricDelta // custom metrics present on both sides
+
 	Tracked bool
 }
 
-// Compare joins two files by (pkg, name) and computes ns/op deltas;
-// tracked marks benchmarks matching the gate expression.
+// MetricDelta is one custom-metric (old, new) comparison.
+type MetricDelta struct {
+	Unit     string
+	Old, New float64
+	Percent  float64
+}
+
+// allocGateFloor is the smallest baseline allocs/op the alloc gate
+// fires on: below it a one-alloc swing is a double-digit percentage,
+// so tiny benchmarks would flap the gate on noise.
+const allocGateFloor = 64
+
+// Compare joins two files by (pkg, name) and computes ns/op, alloc and
+// custom-metric deltas; tracked marks benchmarks matching the gate
+// expression.
 func Compare(oldF, newF *File, tracked *regexp.Regexp) []Delta {
 	type key struct{ pkg, name string }
 	old := make(map[key]Benchmark, len(oldF.Benchmarks))
@@ -177,22 +215,63 @@ func Compare(oldF, newF *File, tracked *regexp.Regexp) []Delta {
 		if !ok {
 			continue
 		}
-		out = append(out, Delta{
-			Name:    b.Name,
-			OldNs:   prev.NsPerOp,
-			NewNs:   b.NsPerOp,
-			Percent: (b.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100,
-			Tracked: tracked != nil && tracked.MatchString(b.Name),
-		})
+		d := Delta{
+			Name:      b.Name,
+			OldNs:     prev.NsPerOp,
+			NewNs:     b.NsPerOp,
+			Percent:   (b.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100,
+			OldBytes:  prev.BytesPerOp,
+			NewBytes:  b.BytesPerOp,
+			OldAllocs: prev.AllocsPerOp,
+			NewAllocs: b.AllocsPerOp,
+			Tracked:   tracked != nil && tracked.MatchString(b.Name),
+		}
+		if prev.AllocsPerOp > 0 {
+			d.AllocPercent = float64(b.AllocsPerOp-prev.AllocsPerOp) / float64(prev.AllocsPerOp) * 100
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, ok := prev.Metrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			nv := b.Metrics[unit]
+			d.Metrics = append(d.Metrics, MetricDelta{
+				Unit: unit, Old: ov, New: nv, Percent: (nv - ov) / ov * 100,
+			})
+		}
+		out = append(out, d)
 	}
 	return out
+}
+
+// regressed reports whether a tracked delta trips the gate, and on
+// which figure. allocThreshold <= 0 disables the alloc gate.
+func (d *Delta) regressed(threshold, allocThreshold float64) (string, bool) {
+	if d.Percent > threshold {
+		return "ns/op", true
+	}
+	if allocThreshold > 0 && d.OldAllocs >= allocGateFloor && d.AllocPercent > allocThreshold {
+		return "allocs/op", true
+	}
+	for _, m := range d.Metrics {
+		if m.Percent > threshold {
+			return m.Unit, true
+		}
+	}
+	return "", false
 }
 
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	oldPath := fs.String("old", "", "baseline JSON")
 	newPath := fs.String("new", "", "candidate JSON")
-	threshold := fs.Float64("threshold", 20, "max tracked ns/op regression, percent")
+	threshold := fs.Float64("threshold", 20, "max tracked ns/op (and custom metric) regression, percent")
+	allocThreshold := fs.Float64("alloc-threshold", 20, "max tracked allocs/op regression, percent (<= 0 disables)")
 	match := fs.String("match", "", "regexp of tracked (gated) benchmark names")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -220,21 +299,31 @@ func cmdCompare(args []string) error {
 		fmt.Println("benchjson: no common benchmarks to compare")
 		return nil
 	}
-	var regressions []Delta
-	for _, d := range deltas {
+	var regressions []string
+	for i := range deltas {
+		d := &deltas[i]
 		marker := " "
 		if d.Tracked {
 			marker = "*"
-			if d.Percent > *threshold {
+			if unit, bad := d.regressed(*threshold, *allocThreshold); bad {
 				marker = "!"
-				regressions = append(regressions, d)
+				regressions = append(regressions, fmt.Sprintf("%s (%s)", d.Name, unit))
 			}
 		}
-		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+		line := fmt.Sprintf("%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%",
 			marker, d.Name, d.OldNs, d.NewNs, d.Percent)
+		if d.OldAllocs > 0 || d.NewAllocs > 0 {
+			line += fmt.Sprintf("  %10d -> %10d B/op  %8d -> %8d allocs/op  %+7.1f%%",
+				d.OldBytes, d.NewBytes, d.OldAllocs, d.NewAllocs, d.AllocPercent)
+		}
+		for _, m := range d.Metrics {
+			line += fmt.Sprintf("  %.0f -> %.0f %s  %+7.1f%%", m.Old, m.New, m.Unit, m.Percent)
+		}
+		fmt.Println(line)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d tracked benchmark(s) regressed beyond %.0f%%", len(regressions), *threshold)
+		return fmt.Errorf("%d tracked benchmark(s) regressed beyond the gate: %s",
+			len(regressions), strings.Join(regressions, ", "))
 	}
 	return nil
 }

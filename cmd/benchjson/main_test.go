@@ -66,6 +66,93 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+const latencySample = `goos: linux
+goarch: amd64
+pkg: repro/internal/store
+BenchmarkServeClassifyLatency-8   	    1000	   180000 ns/op	  520000 p99-ns/op	 2048 B/op	   40 allocs/op
+PASS
+`
+
+func TestParseCustomMetric(t *testing.T) {
+	f, err := Parse(strings.NewReader(latencySample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	if b.NsPerOp != 180000 || b.BytesPerOp != 2048 || b.AllocsPerOp != 40 {
+		t.Errorf("standard columns: %+v", b)
+	}
+	if got := b.Metrics["p99-ns/op"]; got != 520000 {
+		t.Errorf("p99-ns/op = %v, want 520000", got)
+	}
+}
+
+// bump reproduces the sample with one column value replaced.
+func bump(t *testing.T, sample, old, new string) *File {
+	t.Helper()
+	if !strings.Contains(sample, old) {
+		t.Fatalf("sample lacks %q", old)
+	}
+	f, err := Parse(strings.NewReader(strings.Replace(sample, old, new, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestGateCustomMetric(t *testing.T) {
+	oldF, _ := Parse(strings.NewReader(latencySample))
+	newF := bump(t, latencySample, "520000 p99-ns/op", "720000 p99-ns/op")
+	deltas := Compare(oldF, newF, regexp.MustCompile(`Serve`))
+	if len(deltas) != 1 || !deltas[0].Tracked {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	if unit, bad := deltas[0].regressed(20, 20); !bad || unit != "p99-ns/op" {
+		t.Fatalf("p99 regression not gated: unit=%q bad=%v", unit, bad)
+	}
+	// The same p99 jump within threshold passes.
+	okF := bump(t, latencySample, "520000 p99-ns/op", "560000 p99-ns/op")
+	deltas = Compare(oldF, okF, regexp.MustCompile(`Serve`))
+	if _, bad := deltas[0].regressed(20, 20); bad {
+		t.Fatal("sub-threshold p99 delta tripped the gate")
+	}
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	oldF, _ := Parse(strings.NewReader(sample))
+	newF := bump(t, sample, "  518064 allocs/op", "  718064 allocs/op")
+	deltas := Compare(oldF, newF, regexp.MustCompile(`ApplyAffine`))
+	var hit *Delta
+	for i := range deltas {
+		if deltas[i].Tracked {
+			hit = &deltas[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("no tracked delta")
+	}
+	if unit, bad := hit.regressed(20, 20); !bad || unit != "allocs/op" {
+		t.Fatalf("alloc regression not gated: unit=%q bad=%v", unit, bad)
+	}
+	if _, bad := hit.regressed(20, 0); bad {
+		t.Fatal("alloc gate fired with alloc-threshold disabled")
+	}
+}
+
+func TestAllocGateFloor(t *testing.T) {
+	// 40 allocs/op baseline is below the floor: even a huge percentage
+	// jump must not trip the gate.
+	oldF, _ := Parse(strings.NewReader(latencySample))
+	newF := bump(t, latencySample, "   40 allocs/op", "   63 allocs/op")
+	deltas := Compare(oldF, newF, regexp.MustCompile(`Serve`))
+	if _, bad := deltas[0].regressed(100, 20); bad {
+		t.Fatal("alloc gate fired below the floor")
+	}
+}
+
 func TestParseSkipsMalformed(t *testing.T) {
 	f, err := Parse(strings.NewReader("BenchmarkBroken-8\nBenchmarkAlso 10\n"))
 	if err != nil {

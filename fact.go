@@ -48,6 +48,21 @@ type (
 	AffineTask = affine.Task
 	// Run2 is a two-round IIS run (a facet of Chr² s).
 	Run2 = chromatic.Run2
+	// RunKey is the packed binary key of a two-round run.
+	RunKey = chromatic.RunKey
+	// RunRank is the dense per-ground index of a two-round run — the
+	// slot a MembershipTable answers by.
+	RunRank = chromatic.RunRank
+	// Membership is the generic run-membership callback consumed by the
+	// subdivision engine (the compat path; table providers are the fast
+	// path).
+	Membership = chromatic.Membership
+	// MembershipTable is a precomputed rank-indexed membership bitset
+	// over one ground set — the flat-array fast path of the engine.
+	MembershipTable = chromatic.MembershipTable
+	// MemberTables supplies per-ground membership tables; AffineTask
+	// implements it natively.
+	MemberTables = chromatic.MemberTables
 	// Universe interns Chr² s vertices into a shared identity space.
 	Universe = chromatic.Universe
 	// Task is a distributed task (I, O, Δ) (Section 2).
@@ -256,6 +271,17 @@ var (
 	DefaultTowerCache = chromatic.DefaultTowerCache
 	// DefaultWorkers returns the default engine worker count (one per CPU).
 	DefaultWorkers = chromatic.DefaultWorkers
+	// NewMembershipTable precomputes a rank-indexed membership table
+	// over one ground set from a Membership callback.
+	NewMembershipTable = chromatic.NewMembershipTable
+	// TablesOf adapts a Membership callback into a (cached) table
+	// provider — the bridge that keeps callback-based callers on the
+	// flat-array engine.
+	TablesOf = chromatic.TablesOf
+	// FullChr2Membership accepts every run: L = Chr² s (callback form).
+	FullChr2Membership = chromatic.FullChr2Membership
+	// FullChr2Tables accepts every run (table-provider form).
+	FullChr2Tables = chromatic.FullChr2Tables
 )
 
 // Task constructors, re-exported.

@@ -17,12 +17,15 @@ package adversary
 //
 // Per DFS node the comparison against every still-active permutation is
 // word-level: with the top bits of the index fixed, the image bits that
-// are already determined are exactly the images of the fixed positions,
-// so one table-remap of the partial value plus one precomputed mask
-// per (permutation, depth) decides — in O(bits/8) reads — whether the
-// permutation (a) proves the prefix non-canonical (image < index:
-// prune), (b) can never reject any completion (image > index: drop it
-// for the whole subtree), or (c) is still undecided. Once every
+// are already determined are exactly the images of the fixed positions.
+// Each permutation's partial image is carried down the DFS alongside
+// the active list and extended incrementally — fixing one more index
+// bit ORs in that bit's precomputed single-bit image — so the per-node
+// decision is one OR plus one precomputed mask per (permutation,
+// depth), never a re-remap of the whole partial value. That decides
+// whether the permutation (a) proves the prefix non-canonical (image <
+// index: prune), (b) can never reject any completion (image > index:
+// drop it for the whole subtree), or (c) is still undecided. Once every
 // non-identity permutation is dropped, the whole subtree is canonical
 // with trivial stabilizer and is emitted without further scans. At a
 // leaf the permutations still active are exactly the stabilizer, so the
@@ -52,20 +55,27 @@ func (o *Orbits) ForEachCanonicalFrom(start uint64, f func(idx, size uint64) boo
 
 	// Active-permutation arena: one scratch slice per depth, reused —
 	// only one child per level is alive on the DFS path at a time.
+	// images[t] carries, aligned with active[t], each still-active
+	// permutation's image of the partial value (its low undetermined
+	// bits are zero, so the carried word needs no masking on extension).
 	active := make([][]int32, bitsN+1)
+	images := make([][]uint64, bitsN+1)
 	root := make([]int32, 0, o.nPerms-1)
 	for p := 1; p < o.nPerms; p++ {
 		root = append(root, int32(p))
 	}
 	active[0] = root
+	images[0] = make([]uint64, len(root)) // Image(0, p) = 0 for all p
 	for t := 1; t <= bitsN; t++ {
 		active[t] = make([]int32, 0, o.nPerms-1)
+		images[t] = make([]uint64, 0, o.nPerms-1)
 	}
 
 	// rec extends the partial index `value` (top t bits fixed) by the
-	// next lower position. Returns false to abort the whole walk.
-	var rec func(value uint64, t int, act []int32) bool
-	rec = func(value uint64, t int, act []int32) bool {
+	// next lower position. imgs is aligned with act. Returns false to
+	// abort the whole walk.
+	var rec func(value uint64, t int, act []int32, imgs []uint64) bool
+	rec = func(value uint64, t int, act []int32, imgs []uint64) bool {
 		if len(act) == 0 {
 			// Every non-identity permutation maps every completion of
 			// this prefix strictly above it: the whole subtree is
@@ -95,21 +105,27 @@ func (o *Orbits) ForEachCanonicalFrom(start uint64, f func(idx, size uint64) boo
 			if v|lowMask < start {
 				continue // entire subtree below the seek point
 			}
+			bm := -b // all-ones when the new bit is set, zero otherwise
 			child := active[t+1][:0]
+			childImgs := images[t+1][:0]
 			pruned := false
-			for _, p := range act {
-				imgVal := o.Image(v, int(p))
+			for i, p := range act {
+				imgVal := imgs[i] | o.canonBitImgs[p][cur]&bm
 				imgDef := o.canonImgDefs[p][t+1]
 				unknown := defMask &^ imgDef
 				pending := ((imgVal ^ v) & defMask & imgDef) | unknown
 				if pending == 0 {
-					child = append(child, p) // equal so far, undecided
+					// Equal so far, undecided.
+					child = append(child, p)
+					childImgs = append(childImgs, imgVal)
 					continue
 				}
 				top := uint64(1) << uint(63-bits.LeadingZeros64(pending))
 				switch {
 				case unknown&top != 0:
-					child = append(child, p) // stalled on an unset low bit
+					// Stalled on an unset low bit.
+					child = append(child, p)
+					childImgs = append(childImgs, imgVal)
 				case v&top != 0:
 					pruned = true // image < index for every completion
 				default:
@@ -122,19 +138,21 @@ func (o *Orbits) ForEachCanonicalFrom(start uint64, f func(idx, size uint64) boo
 			if pruned {
 				continue
 			}
-			if !rec(v, t+1, child) {
+			if !rec(v, t+1, child, childImgs) {
 				return false
 			}
 		}
 		return true
 	}
-	rec(0, 0, active[0])
+	rec(0, 0, active[0], images[0])
 }
 
-// initCanonTables precomputes, per permutation and DFS depth, the mask
-// of image bit positions determined when the top `depth` index bits are
-// fixed — the image of the fixed-position mask. Called from NewOrbits;
-// nPerms·(bits+1) words (~30 KiB at n=5).
+// initCanonTables precomputes, per permutation, the per-depth mask of
+// image bit positions determined when the top `depth` index bits are
+// fixed (the image of the fixed-position mask) and the image of each
+// single bit position — the increment the DFS ORs into a carried
+// partial image when it fixes one more bit. Called from NewOrbits;
+// nPerms·(2·bits+1) words (~60 KiB at n=5).
 func (o *Orbits) initCanonTables() {
 	bitsN := o.domainBits
 	o.canonDefMasks = make([]uint64, bitsN+1)
@@ -142,11 +160,17 @@ func (o *Orbits) initCanonTables() {
 		o.canonDefMasks[t] = ((uint64(1) << uint(t)) - 1) << uint(bitsN-t)
 	}
 	o.canonImgDefs = make([][]uint64, o.nPerms)
+	o.canonBitImgs = make([][]uint64, o.nPerms)
 	for p := 0; p < o.nPerms; p++ {
 		defs := make([]uint64, bitsN+1)
 		for t := 1; t <= bitsN; t++ {
 			defs[t] = o.Image(o.canonDefMasks[t], p)
 		}
 		o.canonImgDefs[p] = defs
+		bitImgs := make([]uint64, bitsN)
+		for i := 0; i < bitsN; i++ {
+			bitImgs[i] = o.Image(uint64(1)<<uint(i), p)
+		}
+		o.canonBitImgs[p] = bitImgs
 	}
 }

@@ -47,9 +47,12 @@ type Orbits struct {
 	// Lex-leader DFS state (canonical.go): canonDefMasks[t] is the mask
 	// of the top t bit positions, canonImgDefs[p][t] its image under
 	// permutation p — the image positions already determined when the
-	// top t index bits are fixed.
+	// top t index bits are fixed. canonBitImgs[p][i] is the image of the
+	// single bit position i, what lets the DFS extend a carried partial
+	// image by one OR instead of re-remapping the whole value.
 	canonDefMasks []uint64
 	canonImgDefs  [][]uint64
+	canonBitImgs  [][]uint64
 }
 
 // NewOrbits precomputes the orbit tables for the n-process domain.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chromatic"
 	"repro/internal/procs"
@@ -40,6 +41,9 @@ type Task struct {
 
 	sigOnce sync.Once
 	sig     string
+
+	tabMu  sync.Mutex
+	tables map[procs.Set]*chromatic.MembershipTable
 
 	restMu     sync.Mutex
 	restricted map[procs.Set][]chromatic.Run2
@@ -122,29 +126,118 @@ func (t *Task) Signature() string {
 	return t.sig
 }
 
+// MembershipTable returns the task's precomputed rank-indexed
+// membership bitset over the given ground set — affine.Task natively
+// implements chromatic.MemberTables, so the task itself is the fast
+// path of ApplyAffineTables / Tower.ExtendTables. Tables are built once
+// per (task, ground): from the facet key set on the full ground, and
+// through the complex's closure on restricted grounds. Safe for
+// concurrent use.
+func (t *Task) MembershipTable(ground procs.Set) *chromatic.MembershipTable {
+	t.tabMu.Lock()
+	mt, ok := t.tables[ground]
+	t.tabMu.Unlock()
+	if ok {
+		return mt
+	}
+	if ground == procs.FullSet(t.n) {
+		mt = chromatic.NewMembershipTable(ground,
+			func(r chromatic.Run2, key chromatic.RunKey) bool { return t.keys[key] })
+	} else {
+		t.Complex()
+		mt = chromatic.NewMembershipTable(ground,
+			func(r chromatic.Run2, key chromatic.RunKey) bool {
+				return t.ContainsSimplex(r.FacetIDs(t.u))
+			})
+	}
+	t.tabMu.Lock()
+	if prior, ok := t.tables[ground]; ok {
+		mt = prior
+	} else {
+		if t.tables == nil {
+			t.tables = make(map[procs.Set]*chromatic.MembershipTable)
+		}
+		t.tables[ground] = mt
+	}
+	t.tabMu.Unlock()
+	return mt
+}
+
 // RestrictedFacets enumerates the runs over the participating set whose
-// simplices belong to the task: the facets of L ∩ Chr²(P). Memoized per
-// participant set and shared by every simulation over this task; safe
-// for concurrent use.
+// simplices belong to the task: the facets of L ∩ Chr²(P). Derived from
+// the rank-indexed membership table, memoized per participant set and
+// shared by every simulation over this task; safe for concurrent use.
 func (t *Task) RestrictedFacets(p procs.Set) []chromatic.Run2 {
 	t.restMu.Lock()
-	defer t.restMu.Unlock()
-	if t.restricted == nil {
-		t.restricted = make(map[procs.Set][]chromatic.Run2)
-	}
-	if runs, ok := t.restricted[p]; ok {
+	runs, ok := t.restricted[p]
+	t.restMu.Unlock()
+	if ok {
 		return runs
 	}
-	var runs []chromatic.Run2
-	member := t.Membership()
-	chromatic.ForEachRun2Keyed(p, func(r chromatic.Run2, k chromatic.RunKey) bool {
-		if member(r, k) {
-			runs = append(runs, r)
+	mt := t.MembershipTable(p)
+	parts := chromatic.OrderedPartitionsOf(p)
+	rank := chromatic.RunRank(0)
+	for i := range parts {
+		for j := range parts {
+			if mt.Contains(rank) {
+				runs = append(runs, chromatic.Run2{R1: parts[i], R2: parts[j]})
+			}
+			rank++
 		}
-		return true
-	})
-	t.restricted[p] = runs
+	}
+	t.restMu.Lock()
+	if prior, ok := t.restricted[p]; ok {
+		runs = prior
+	} else {
+		if t.restricted == nil {
+			t.restricted = make(map[procs.Set][]chromatic.Run2)
+		}
+		t.restricted[p] = runs
+	}
+	t.restMu.Unlock()
 	return runs
+}
+
+// PrecomputeRestrictedFacets fills the restricted-facet (and membership
+// table) memo for every non-empty participating set P ⊆ Π in parallel —
+// the per-P computations are independent, so they fan out over the
+// worker pool (workers <= 0 selects one per CPU). The memoized results
+// are identical to what serial RestrictedFacets calls would produce;
+// simulation campaigns touching many participating sets call this once
+// up front instead of paying for each set on first touch.
+func (t *Task) PrecomputeRestrictedFacets(workers int) {
+	subsets := procs.NonemptySubsets(procs.FullSet(t.n))
+	if workers <= 0 {
+		workers = chromatic.DefaultWorkers()
+	}
+	if workers > len(subsets) {
+		workers = len(subsets)
+	}
+	if workers <= 1 {
+		for _, p := range subsets {
+			t.RestrictedFacets(p)
+		}
+		return
+	}
+	// The closure complex is built lazily under a Once; touch it before
+	// fanning out so workers only read it.
+	t.Complex()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(subsets) {
+					return
+				}
+				t.RestrictedFacets(subsets[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ContainsSimplex reports whether the interned vertex set is a simplex
@@ -160,10 +253,14 @@ func (t *Task) ContainsSimplex(ids []sc.VertexID) bool {
 // task to arbitrary chromatic complexes (chromatic.Tower.Extend): a
 // 2-round run over a ground set of colors is accepted iff its simplex
 // belongs to the task. The run key the enumerators precompute indexes
-// the facet map directly, so the full-ground hot path is a single map
-// read. The returned predicate is safe for concurrent use: the task
-// complex is materialized eagerly here, so evaluations only read it
-// (and intern through the lock-protected Universe).
+// the facet map directly, so the full-ground path is a single map read.
+//
+// This is the generic/compat form; the engine's fast path consumes the
+// task directly as a chromatic.MemberTables provider (MembershipTable),
+// which answers by rank-indexed bit probes. The returned predicate is
+// safe for concurrent use: the task complex is materialized eagerly
+// here, so evaluations only read it (and intern through the
+// lock-protected Universe).
 func (t *Task) Membership() chromatic.Membership {
 	t.Complex()
 	full := procs.FullSet(t.n)
@@ -221,13 +318,13 @@ func (t *Task) Iterate(input *sc.Complex, m int) (*chromatic.Tower, error) {
 }
 
 // IterateWorkers is Iterate with an explicit subdivision worker count
-// (<= 0 selects chromatic.DefaultWorkers(), 1 the serial path).
+// (<= 0 selects chromatic.DefaultWorkers(), 1 the serial path). The
+// tower extends through the task's rank-indexed membership tables.
 func (t *Task) IterateWorkers(input *sc.Complex, m, workers int) (*chromatic.Tower, error) {
 	tower := chromatic.NewTower(input)
 	tower.SetWorkers(workers)
-	member := t.Membership()
 	for i := 0; i < m; i++ {
-		if err := tower.Extend(member); err != nil {
+		if err := tower.ExtendTables(t); err != nil {
 			return nil, err
 		}
 	}

@@ -401,12 +401,25 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 	// of raw index ranges. The channel capacity plus the reorder window
 	// bound the prefetched blocks, so memory stays O(workers×ShardSize)
 	// exactly as in the full-domain path.
+	//
+	// Solve-mode sweeps insert the big-orbit-first scheduler between the
+	// producer and the workers: blocks are dispatched heaviest-first
+	// within a lookahead bounded by the emitter's reorder window, so the
+	// most expensive solve blocks start earliest (shorter stragglers fill
+	// the tail) while the emitted stream stays in sequence order —
+	// byte-identical to unscheduled dispatch.
 	var orbitBlocks chan orbitBlock
 	if env.orbits != nil {
-		orbitBlocks = make(chan orbitBlock, workers*4)
+		produced := make(chan orbitBlock, workers*4)
 		prodQuit := make(chan struct{})
 		defer close(prodQuit)
-		go produceOrbitBlocks(env.orbits, orbitBlocks, prodQuit, start, end, shardSize, opts.MaxIndices)
+		go produceOrbitBlocks(env.orbits, produced, prodQuit, start, end, shardSize, opts.MaxIndices)
+		orbitBlocks = produced
+		if opts.Solve {
+			scheduled := make(chan orbitBlock)
+			go scheduleBigOrbitFirst(produced, scheduled, prodQuit, uint64(workers)*4)
+			orbitBlocks = scheduled
+		}
 	}
 
 	var cursor atomic.Uint64
@@ -639,6 +652,89 @@ func produceOrbitBlocks(o *adversary.Orbits, out chan<- orbitBlock, quit <-chan 
 	select {
 	case out <- blk:
 	case <-quit:
+	}
+}
+
+// blockWeight is the big-orbit-first scheduling key of an orbit block:
+// its total orbit weight (the number of raw adversaries the block
+// accounts for). Large total weight means many asymmetric
+// representatives — the blocks whose solve jobs dominate a sweep's wall
+// clock — so dispatching them first keeps the cheap symmetric blocks
+// for the tail, the longest-processing-time-first heuristic.
+func blockWeight(b orbitBlock) uint64 {
+	var w uint64
+	for _, r := range b.reps {
+		w += r.size
+	}
+	return w
+}
+
+// scheduleBigOrbitFirst re-orders orbit-block dispatch for solve-mode
+// sweeps: among the buffered blocks it always hands workers the
+// heaviest (blockWeight, ties to the lower sequence number) first.
+// Emission order is untouched — the reorder buffer still emits blocks
+// strictly by sequence — so the output is byte-identical to FIFO
+// dispatch; only the wall-clock shape changes.
+//
+// The lookahead is bounded two ways: at most `lookahead` blocks are
+// buffered, and no buffered block's sequence number runs `lookahead` or
+// more past the lowest undispatched one. The second bound is the
+// liveness invariant: every dispatched block then satisfies
+// seq < lowestUndispatched + lookahead ≤ frontier + emitter window, so
+// a worker holding a scheduled block always clears the emitter's
+// waitTurn throttle and the frontier block cannot be starved behind
+// stalled workers.
+func scheduleBigOrbitFirst(in <-chan orbitBlock, out chan<- orbitBlock, quit <-chan struct{}, lookahead uint64) {
+	defer close(out)
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	var buf []orbitBlock
+	nextSeq := uint64(0) // sequence number of the next block to arrive
+	open := true
+	for {
+		for open && uint64(len(buf)) < lookahead {
+			if len(buf) > 0 {
+				minSeq := buf[0].seq
+				for _, b := range buf[1:] {
+					if b.seq < minSeq {
+						minSeq = b.seq
+					}
+				}
+				if nextSeq >= minSeq+lookahead {
+					break // sequence window exhausted until minSeq goes out
+				}
+			}
+			select {
+			case b, ok := <-in:
+				if !ok {
+					open = false
+				} else {
+					buf = append(buf, b)
+					nextSeq = b.seq + 1
+				}
+			case <-quit:
+				return
+			}
+		}
+		if len(buf) == 0 {
+			return
+		}
+		best := 0
+		bw := blockWeight(buf[0])
+		for i := 1; i < len(buf); i++ {
+			if w := blockWeight(buf[i]); w > bw || (w == bw && buf[i].seq < buf[best].seq) {
+				best, bw = i, w
+			}
+		}
+		b := buf[best]
+		buf[best] = buf[len(buf)-1]
+		buf = buf[:len(buf)-1]
+		select {
+		case out <- b:
+		case <-quit:
+			return
+		}
 	}
 }
 

@@ -118,7 +118,7 @@ func (env *runEnv) examine(idx uint64) (Entry, error) {
 	if solvable {
 		e.Rounds = res.Rounds
 		if env.verify {
-			err := solver.VerifyWitnessWith(task, ra.Membership(), res.Rounds, res.Map,
+			err := solver.VerifyWitnessTables(task, ra, res.Rounds, res.Map,
 				solver.Options{Workers: 1, Cache: env.cache, CacheKey: ra.Signature()})
 			if err != nil {
 				return e, fmt.Errorf("census: witness for %v rejected: %w", a, err)

@@ -242,13 +242,23 @@ func (ct *CachedTower) Tower() *Tower { return ct.tower }
 // EnsureHeight extends the tower to at least the given height using the
 // membership predicate, which must match the signature the tower was
 // acquired under. Concurrent calls are serialized; already-built levels
-// are never rebuilt.
+// are never rebuilt. Compat form of EnsureHeightTables — the callback
+// is adapted with TablesOf per call.
 func (ct *CachedTower) EnsureHeight(member Membership, height int) error {
+	return ct.EnsureHeightTables(TablesOf(member), height)
+}
+
+// EnsureHeightTables extends the tower to at least the given height
+// using the membership-table provider (the rank-indexed fast path),
+// which must match the signature the tower was acquired under.
+// Concurrent calls are serialized; already-built levels are never
+// rebuilt.
+func (ct *CachedTower) EnsureHeightTables(tables MemberTables, height int) error {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	grew := false
 	for ct.tower.Height() < height {
-		if err := ct.tower.Extend(member); err != nil {
+		if err := ct.tower.ExtendTables(tables); err != nil {
 			return err
 		}
 		grew = true

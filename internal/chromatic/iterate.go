@@ -5,9 +5,17 @@ package chromatic
 // solvability side of the FACT theorem: building R_A^ℓ(I) from an input
 // complex I and searching for a simplicial map to the output complex.
 //
+// The engine is rank-indexed: membership is consulted through
+// MembershipTable bitsets (one bit probe per run instead of a hash-map
+// lookup), per-partition IS views come from the flat per-ground tables
+// of partitions.go, and the per-work-unit vertex memo is a
+// generation-counter arena indexed by (process, round-2 view) — reset by
+// bumping a counter, not by reallocation. The Membership callback form
+// remains supported through the TablesOf adapter.
+//
 // Construction fans out across a bounded worker pool: the unit of work
 // is one (base face, first-round schedule) pair, whose second-round
-// schedules a worker enumerates against the membership predicate. Each
+// schedules a worker enumerates against the membership table. Each
 // worker dedups the vertices it produces in a private shard; shards are
 // merged into the global intern table in the serial enumeration order,
 // so the resulting complex — vertex IDs, labels, carriers, simplices —
@@ -16,8 +24,8 @@ package chromatic
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -29,15 +37,17 @@ import (
 // colors) yields a simplex of the affine task L ⊆ Chr² s. The full Chr²
 // subdivision is the constant-true predicate.
 //
+// This is the generic/compat form. The engine's fast path consumes
+// precomputed MembershipTable bitsets (membership.go); callbacks are
+// adapted with TablesOf, which evaluates the predicate exactly once per
+// run per ground set. Predicates must therefore be pure — the table is
+// their permanent answer — and safe for concurrent calls (affine
+// task predicates and FullChr2Membership are).
+//
 // The enumerators pass the run's binary key alongside it, assembled from
 // the per-partition packed-key table (partitions.go) instead of
-// re-derived per run — the key is what affine-task membership maps are
-// indexed by, so predicates never recompute it on the hot path. Callers
-// invoking a predicate on a run of their own pass run.Key().
-//
-// Predicates are evaluated concurrently by the parallel subdivision
-// engine and must be safe for simultaneous calls from multiple
-// goroutines (affine.Task.Membership and FullChr2Membership are).
+// re-derived per run. Callers invoking a predicate on a run of their own
+// pass run.Key().
 type Membership func(run Run2, key RunKey) bool
 
 // FullChr2Membership accepts every run: L = Chr² s.
@@ -48,16 +58,13 @@ var FullChr2Membership Membership = func(Run2, RunKey) bool { return true }
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Iterated is one level of affine-task application over a base complex:
-// the sub-complex of Chr²(base) selected by the membership predicate,
-// with per-vertex carriers into the base complex.
+// the sub-complex of Chr²(base) selected by the membership table, with
+// per-vertex carriers into the base complex.
 type Iterated struct {
 	Base    *sc.Complex
 	Complex *sc.Complex
 
 	carrier map[sc.VertexID]sc.Simplex
-	// content records, for each new vertex, its second-snapshot content
-	// in base-vertex terms: base vertex -> set of base vertices (View¹).
-	content map[sc.VertexID]map[sc.VertexID]sc.Simplex
 	interns map[string]sc.VertexID
 	next    sc.VertexID
 }
@@ -69,14 +76,26 @@ var ErrNotChromaticBase = errors.New("base complex is not chromatic")
 // simplex σ of the base complex and every 2-round run over χ(σ) accepted
 // by member, the corresponding facet of Chr²(σ) is added. Carriers of
 // new vertices point into base.
+//
+// Compat form: the callback is adapted with TablesOf (evaluated once per
+// run per ground). Callers holding a table provider — affine.Task is one
+// — should use ApplyAffineTables directly.
 func ApplyAffine(base *sc.Complex, member Membership) (*Iterated, error) {
-	return ApplyAffineWorkers(base, member, 0)
+	return ApplyAffineTables(base, TablesOf(member), 0)
 }
 
 // ApplyAffineWorkers is ApplyAffine with an explicit worker count.
 // workers <= 0 selects DefaultWorkers(); workers == 1 runs the serial
 // reference path. The output is byte-identical across worker counts.
 func ApplyAffineWorkers(base *sc.Complex, member Membership, workers int) (*Iterated, error) {
+	return ApplyAffineTables(base, TablesOf(member), workers)
+}
+
+// ApplyAffineTables computes L(base) from a membership-table provider —
+// the rank-indexed fast path. workers <= 0 selects DefaultWorkers();
+// workers == 1 runs the serial reference path. The output is
+// byte-identical across worker counts.
+func ApplyAffineTables(base *sc.Complex, tables MemberTables, workers int) (*Iterated, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -88,29 +107,21 @@ func ApplyAffineWorkers(base *sc.Complex, member Membership, workers int) (*Iter
 		Base:    base,
 		Complex: sc.NewComplex(base.Colors()),
 		carrier: make(map[sc.VertexID]sc.Simplex),
-		content: make(map[sc.VertexID]map[sc.VertexID]sc.Simplex),
 		interns: make(map[string]sc.VertexID),
 	}
 	if workers == 1 {
-		for _, f := range faces {
-			ForEachRun2Keyed(f.ground, func(r Run2, k RunKey) bool {
-				if member(r, k) {
-					it.addRun(r, f.byColor)
-				}
-				return true
-			})
-		}
+		it.applySerial(faces, tables)
 		return it, nil
 	}
-	it.applyParallel(faces, member, workers)
+	it.applyParallel(faces, tables, workers)
 	return it, nil
 }
 
 // baseFace is one distinct chromatic face of the base complex, with its
-// color -> base vertex index.
+// color -> base vertex table (flat, indexed by color).
 type baseFace struct {
 	ground  procs.Set
-	byColor map[procs.ID]sc.VertexID
+	byColor []sc.VertexID
 }
 
 // chromaticFaces collects the distinct faces of the base complex in the
@@ -120,6 +131,7 @@ func chromaticFaces(base *sc.Complex) ([]baseFace, error) {
 	if !base.IsChromatic() {
 		return nil, ErrNotChromaticBase
 	}
+	colors := base.Colors()
 	var faces []baseFace
 	seenFaces := make(map[string]bool)
 	for _, facet := range base.Facets() {
@@ -129,7 +141,7 @@ func chromaticFaces(base *sc.Complex) ([]baseFace, error) {
 				continue
 			}
 			seenFaces[fk] = true
-			byColor := make(map[procs.ID]sc.VertexID, len(face))
+			byColor := make([]sc.VertexID, colors)
 			var ground procs.Set
 			for _, v := range face {
 				vert, _ := base.Vertex(v)
@@ -146,12 +158,135 @@ func chromaticFaces(base *sc.Complex) ([]baseFace, error) {
 	return faces, nil
 }
 
+// arenaMaxSlots bounds the flat slot space of a memo arena; grounds
+// whose (member, view) index space exceeds it (only reachable far
+// beyond the sizes the engine can enumerate) fall back to a map.
+const arenaMaxSlots = 1 << 16
+
+// memoArena memoizes per-row vertex records indexed by (member
+// position, round-2 view): a flat generation-stamped slot array that
+// resets in O(1) by bumping the generation counter instead of
+// reallocating. One arena per (worker, ground) lives across every row
+// of that ground.
+type memoArena[T any] struct {
+	gen   uint32
+	width uint
+	slots []memoSlot[T]
+	over  map[uint32]T // fallback beyond arenaMaxSlots
+}
+
+type memoSlot[T any] struct {
+	gen uint32
+	val T
+}
+
+func newMemoArena[T any](ground procs.Set, members int) *memoArena[T] {
+	// Slot index: memberPos << width | view2, view2 ⊆ ground.
+	a := &memoArena[T]{gen: 1, width: uint(bits.Len32(uint32(ground)))}
+	if size := members << a.width; size <= arenaMaxSlots {
+		a.slots = make([]memoSlot[T], size)
+	} else {
+		a.over = make(map[uint32]T)
+	}
+	return a
+}
+
+// reset invalidates every memoized record in O(1) (flat form) or by
+// clearing the fallback map.
+func (a *memoArena[T]) reset() {
+	a.gen++
+	if a.over != nil && len(a.over) > 0 {
+		clear(a.over)
+	}
+}
+
+func (a *memoArena[T]) get(pi int, view2 procs.Set) (T, bool) {
+	if a.slots != nil {
+		s := &a.slots[uint32(pi)<<a.width|uint32(view2)]
+		if s.gen == a.gen {
+			return s.val, true
+		}
+		var zero T
+		return zero, false
+	}
+	v, ok := a.over[uint32(pi)<<a.width|uint32(view2)]
+	return v, ok
+}
+
+func (a *memoArena[T]) put(pi int, view2 procs.Set, v T) {
+	if a.slots != nil {
+		s := &a.slots[uint32(pi)<<a.width|uint32(view2)]
+		s.gen, s.val = a.gen, v
+		return
+	}
+	a.over[uint32(pi)<<a.width|uint32(view2)] = v
+}
+
+// applySerial is the serial reference path: faces in order, runs in rank
+// order, vertices interned at first encounter. Within one first-round
+// row a vertex is determined by (process, round-2 view), so the arena
+// memoizes interned IDs per row.
+func (it *Iterated) applySerial(faces []baseFace, tables MemberTables) {
+	arenas := make(map[procs.Set]*memoArena[sc.VertexID])
+	var keyBuf []byte
+	var ids []sc.VertexID
+	for _, f := range faces {
+		tab := partitionsFor(f.ground)
+		mt := tables.MembershipTable(f.ground)
+		members := tab.members
+		m := len(tab.parts)
+		ar := arenas[f.ground]
+		if ar == nil {
+			ar = newMemoArena[sc.VertexID](f.ground, len(members))
+			arenas[f.ground] = ar
+		}
+		for i := 0; i < m; i++ {
+			if !mt.RowAny(i) {
+				continue
+			}
+			views1 := tab.views[i]
+			base := i * m
+			ar.reset()
+			for j := 0; j < m; j++ {
+				if !mt.Contains(RunRank(base + j)) {
+					continue
+				}
+				views2 := tab.views[j]
+				ids = ids[:0]
+				for pi, p := range members {
+					view2 := views2[p]
+					id, ok := ar.get(pi, view2)
+					if !ok {
+						id = it.internFlat(f.byColor, p, view2, views1, &keyBuf)
+						ar.put(pi, view2, id)
+					}
+					ids = append(ids, id)
+				}
+				_ = it.Complex.AddSimplex(ids...)
+			}
+		}
+	}
+}
+
+// internFlat interns the vertex (p, view2) of one run, building its
+// canonical key into the caller's reusable buffer. The global intern
+// probe allocates nothing on a hit.
+func (it *Iterated) internFlat(byColor []sc.VertexID, p procs.ID, view2 procs.Set,
+	views1 []procs.Set, keyBuf *[]byte) sc.VertexID {
+	buf := appendIterKey((*keyBuf)[:0], byColor[p], view2, views1, byColor)
+	*keyBuf = buf
+	if id, ok := it.interns[string(buf)]; ok {
+		return id
+	}
+	return it.register(string(buf), int(p), flatCarrier(view2, views1, byColor))
+}
+
 // vertexRec is a worker-shard record of one subdivision vertex, keyed by
 // the same canonical string the serial interner uses.
 type vertexRec struct {
 	key     string
-	color   int
-	content map[sc.VertexID]sc.Simplex
+	color   int32
+	carrier sc.Simplex
 }
 
 // runUnit is the parallel work unit: one base face crossed with one
@@ -164,16 +299,27 @@ type runUnit struct {
 
 // applyParallel fans the run enumeration out over the worker pool and
 // merges the per-unit results in serial enumeration order.
-func (it *Iterated) applyParallel(faces []baseFace, member Membership, workers int) {
-	tabByGround := make(map[procs.Set]*partTable)
+func (it *Iterated) applyParallel(faces []baseFace, tables MemberTables, workers int) {
+	type groundData struct {
+		tab *partTable
+		mt  *MembershipTable
+	}
+	byGround := make(map[procs.Set]groundData)
 	for _, f := range faces {
-		if _, ok := tabByGround[f.ground]; !ok {
-			tabByGround[f.ground] = partitionsFor(f.ground)
+		if _, ok := byGround[f.ground]; !ok {
+			byGround[f.ground] = groundData{
+				tab: partitionsFor(f.ground),
+				mt:  tables.MembershipTable(f.ground),
+			}
 		}
 	}
 	var units []runUnit
 	for fi, f := range faces {
-		for i := range tabByGround[f.ground].parts {
+		g := byGround[f.ground]
+		for i := range g.tab.parts {
+			if !g.mt.RowAny(i) {
+				continue
+			}
 			units = append(units, runUnit{face: fi, r1: i})
 		}
 	}
@@ -187,6 +333,8 @@ func (it *Iterated) applyParallel(faces []baseFace, member Membership, workers i
 		go func() {
 			defer wg.Done()
 			shard := make(map[string]*vertexRec)
+			arenas := make(map[procs.Set]*memoArena[*vertexRec])
+			var keyBuf []byte
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(units) {
@@ -194,40 +342,34 @@ func (it *Iterated) applyParallel(faces []baseFace, member Membership, workers i
 				}
 				u := units[i]
 				f := faces[u.face]
-				tab := tabByGround[f.ground]
-				r1 := tab.parts[u.r1]
-				var k1 uint64
-				if tab.keys != nil {
-					k1 = tab.keys[u.r1]
+				g := byGround[f.ground]
+				tab, mt := g.tab, g.mt
+				members := tab.members
+				m := len(tab.parts)
+				ar := arenas[f.ground]
+				if ar == nil {
+					ar = newMemoArena[*vertexRec](f.ground, len(members))
+					arenas[f.ground] = ar
 				}
-				// Within a unit the first round is fixed, so a vertex is
-				// determined by (color, round-2 view): memoize records
-				// per (p, View²) instead of rebuilding them per run.
-				views1 := r1.Views()
-				memo := make(map[uint64]*vertexRec)
+				ar.reset()
+				views1 := tab.views[u.r1]
+				base := u.r1 * m
 				var accepted [][]*vertexRec
-				for ri, r2 := range tab.parts {
-					r := Run2{R1: r1, R2: r2}
-					var key RunKey
-					if tab.keys != nil {
-						key = RunKey{R1: k1, R2: tab.keys[ri]}
-					} else {
-						key = r.Key()
-					}
-					if !member(r, key) {
+				for j := 0; j < m; j++ {
+					if !mt.Contains(RunRank(base + j)) {
 						continue
 					}
-					recs := make([]*vertexRec, 0, f.ground.Size())
-					f.ground.ForEach(func(p procs.ID) {
-						view2, _ := r2.ViewOf(p)
-						mk := uint64(p)<<32 | uint64(view2)
-						rec, ok := memo[mk]
+					views2 := tab.views[j]
+					recs := make([]*vertexRec, 0, len(members))
+					for pi, p := range members {
+						view2 := views2[p]
+						rec, ok := ar.get(pi, view2)
 						if !ok {
-							rec = buildRec(p, view2, views1, f.byColor, shard)
-							memo[mk] = rec
+							rec = buildRec(p, view2, views1, f.byColor, shard, &keyBuf)
+							ar.put(pi, view2, rec)
 						}
 						recs = append(recs, rec)
-					})
+					}
 					accepted = append(accepted, recs)
 				}
 				results[i] = accepted
@@ -235,11 +377,12 @@ func (it *Iterated) applyParallel(faces []baseFace, member Membership, workers i
 		}()
 	}
 	wg.Wait()
+	ids := make([]sc.VertexID, 0, 16)
 	for _, accepted := range results {
 		for _, recs := range accepted {
-			ids := make([]sc.VertexID, len(recs))
-			for j, rec := range recs {
-				ids[j] = it.internRec(rec)
+			ids = ids[:0]
+			for _, rec := range recs {
+				ids = append(ids, it.internRec(rec))
 			}
 			_ = it.Complex.AddSimplex(ids...)
 		}
@@ -248,23 +391,32 @@ func (it *Iterated) applyParallel(faces []baseFace, member Membership, workers i
 
 // buildRec computes the shard record of the vertex (p, view2) under the
 // unit's fixed first-round views, reusing the worker's shard so vertices
-// repeated across units are built once per worker.
-func buildRec(p procs.ID, view2 procs.Set, views1 map[procs.ID]procs.Set,
-	byColor map[procs.ID]sc.VertexID, shard map[string]*vertexRec) *vertexRec {
-	content := make(map[sc.VertexID]sc.Simplex, view2.Size())
-	view2.ForEach(func(q procs.ID) {
-		view := views1[q]
-		baseView := make(sc.Simplex, 0, view.Size())
-		view.ForEach(func(x procs.ID) { baseView = append(baseView, byColor[x]) })
-		content[byColor[q]] = sc.NewSimplex(baseView...)
-	})
-	key := iterKey(byColor[p], content)
-	if rec, ok := shard[key]; ok {
+// repeated across units are built once per worker. The shard probe
+// allocates nothing on a hit.
+func buildRec(p procs.ID, view2 procs.Set, views1 []procs.Set,
+	byColor []sc.VertexID, shard map[string]*vertexRec, keyBuf *[]byte) *vertexRec {
+	buf := appendIterKey((*keyBuf)[:0], byColor[p], view2, views1, byColor)
+	*keyBuf = buf
+	if rec, ok := shard[string(buf)]; ok {
 		return rec
 	}
-	rec := &vertexRec{key: key, color: int(p), content: content}
-	shard[key] = rec
+	rec := &vertexRec{
+		key:     string(buf),
+		color:   int32(p),
+		carrier: flatCarrier(view2, views1, byColor),
+	}
+	shard[rec.key] = rec
 	return rec
+}
+
+// flatCarrier derives the carrier of the vertex (·, view2): the base
+// vertices of every color transitively seen through the two rounds.
+func flatCarrier(view2 procs.Set, views1 []procs.Set, byColor []sc.VertexID) sc.Simplex {
+	var cs procs.Set
+	view2.ForEach(func(q procs.ID) { cs = cs.Union(views1[q]) })
+	carrier := make(sc.Simplex, 0, cs.Size())
+	cs.ForEach(func(x procs.ID) { carrier = append(carrier, byColor[x]) })
+	return sc.NewSimplex(carrier...)
 }
 
 // internRec interns one shard record into the global table, assigning
@@ -273,48 +425,14 @@ func (it *Iterated) internRec(rec *vertexRec) sc.VertexID {
 	if id, ok := it.interns[rec.key]; ok {
 		return id
 	}
-	return it.register(rec.key, rec.color, rec.content)
+	return it.register(rec.key, int(rec.color), rec.carrier)
 }
 
-// addRun interns one run's facet (serial path).
-func (it *Iterated) addRun(r Run2, byColor map[procs.ID]sc.VertexID) {
-	views1 := r.R1.Views()
-	ground := r.Ground()
-	ids := make([]sc.VertexID, 0, ground.Size())
-	ground.ForEach(func(p procs.ID) {
-		view2, _ := r.R2.ViewOf(p)
-		content := make(map[sc.VertexID]sc.Simplex, view2.Size())
-		view2.ForEach(func(q procs.ID) {
-			view := views1[q]
-			baseView := make(sc.Simplex, 0, view.Size())
-			view.ForEach(func(x procs.ID) { baseView = append(baseView, byColor[x]) })
-			content[byColor[q]] = sc.NewSimplex(baseView...)
-		})
-		ids = append(ids, it.intern(byColor[p], int(p), content))
-	})
-	_ = it.Complex.AddSimplex(ids...)
-}
-
-// intern canonicalizes a new vertex (baseVertex, content) and returns its
-// ID, registering it in the complex with its carrier.
-func (it *Iterated) intern(baseV sc.VertexID, color int, content map[sc.VertexID]sc.Simplex) sc.VertexID {
-	key := iterKey(baseV, content)
-	if id, ok := it.interns[key]; ok {
-		return id
-	}
-	return it.register(key, color, content)
-}
-
-// register assigns the next vertex ID to a fresh (key, content) pair.
-func (it *Iterated) register(key string, color int, content map[sc.VertexID]sc.Simplex) sc.VertexID {
+// register assigns the next vertex ID to a fresh (key, carrier) pair.
+func (it *Iterated) register(key string, color int, carrier sc.Simplex) sc.VertexID {
 	id := it.next
 	it.next++
-	var carrier sc.Simplex
-	for _, view := range content {
-		carrier = carrier.Union(view)
-	}
 	it.carrier[id] = carrier
-	it.content[id] = content
 	// The key is binary; label with the (unique) ID and the carrier,
 	// which is what diagnostics actually read.
 	label := fmt.Sprintf("c%d#%d@%v", color, id, carrier)
@@ -323,31 +441,23 @@ func (it *Iterated) register(key string, color int, content map[sc.VertexID]sc.S
 	return id
 }
 
-// iterKey canonically serializes (baseVertex, content) as a compact
-// binary string: the base vertex, then each content entry — base vertex,
-// view length, view members — in increasing base-vertex order. Views are
-// canonical sc.Simplex values (sorted, deduplicated), so the encoding is
-// injective; binary appends replace the fmt-built string form that
-// profiles showed near the top of R_A^ℓ construction.
-func iterKey(baseV sc.VertexID, content map[sc.VertexID]sc.Simplex) string {
-	keys := make([]sc.VertexID, 0, len(content))
-	total := 0
-	for k, view := range content {
-		keys = append(keys, k)
-		total += len(view)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	buf := make([]byte, 0, 4+len(keys)*5+total*4)
+// appendIterKey canonically serializes a subdivision vertex as a compact
+// binary string: the base vertex, then per member of its round-2 view in
+// increasing color order — the member's base vertex, its round-1 view
+// length, and the view's base vertices in increasing color order. Every
+// byte derives from the vertex's content alone (each base vertex's color
+// is fixed by the chromatic base complex), so the encoding is canonical
+// across faces; the prefix-decodable layout makes it injective.
+func appendIterKey(buf []byte, baseV sc.VertexID, view2 procs.Set,
+	views1 []procs.Set, byColor []sc.VertexID) []byte {
 	buf = appendVertexID(buf, baseV)
-	for _, k := range keys {
-		view := content[k]
-		buf = appendVertexID(buf, k)
-		buf = append(buf, byte(len(view)))
-		for _, v := range view {
-			buf = appendVertexID(buf, v)
-		}
-	}
-	return string(buf)
+	view2.ForEach(func(q procs.ID) {
+		view := views1[q]
+		buf = appendVertexID(buf, byColor[q])
+		buf = append(buf, byte(view.Size()))
+		view.ForEach(func(x procs.ID) { buf = appendVertexID(buf, byColor[x]) })
+	})
+	return buf
 }
 
 func appendVertexID(buf []byte, v sc.VertexID) []byte {
@@ -411,8 +521,16 @@ func (t *Tower) LevelComplex(level int) *sc.Complex {
 }
 
 // Extend applies one round of the affine task to the top of the tower.
+// Compat form of ExtendTables — the callback is adapted with TablesOf
+// per call; callers extending repeatedly should hold a table provider.
 func (t *Tower) Extend(member Membership) error {
-	it, err := ApplyAffineWorkers(t.Top(), member, t.workers)
+	return t.ExtendTables(TablesOf(member))
+}
+
+// ExtendTables applies one round of the affine task, given by its
+// membership-table provider, to the top of the tower.
+func (t *Tower) ExtendTables(tables MemberTables) error {
+	it, err := ApplyAffineTables(t.Top(), tables, t.workers)
 	if err != nil {
 		return err
 	}
@@ -438,12 +556,12 @@ func (t *Tower) ApproxBytes() int64 {
 }
 
 // ApproxBytes estimates the resident size of one built level: its
-// complex plus the carrier, content and intern tables keyed per vertex.
+// complex plus the carrier and intern tables keyed per vertex.
 func (it *Iterated) ApproxBytes() int64 {
 	nv := int64(it.Complex.NumVertices())
 	n := int64(it.Complex.Colors())
-	// Per vertex: intern key + label, carrier slice, and a content map
-	// of up to n inner simplices.
+	// Per vertex: intern key + label, carrier slice, and the per-color
+	// key payload.
 	return complexApproxBytes(it.Complex) + nv*(160+96*n)
 }
 

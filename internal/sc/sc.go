@@ -13,6 +13,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
 	"strings"
 
@@ -38,7 +40,7 @@ type Simplex []VertexID
 func NewSimplex(vs ...VertexID) Simplex {
 	out := make(Simplex, len(vs))
 	copy(out, vs)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	// Deduplicate.
 	dst := out[:0]
 	for i, v := range out {
@@ -185,6 +187,11 @@ func (c *Complex) AddVertex(id VertexID, color int, label string) error {
 
 // AddSimplex adds a simplex and all its faces. All vertices must have
 // been registered beforehand.
+//
+// Faces are probed with allocation-free keys and only materialized when
+// absent, so re-adding simplices whose boundary already exists (the
+// common case while the subdivision engine streams facets that share
+// faces) costs no allocations beyond the canonical form itself.
 func (c *Complex) AddSimplex(vs ...VertexID) error {
 	if len(vs) == 0 {
 		return ErrEmptySimplex
@@ -195,11 +202,37 @@ func (c *Complex) AddSimplex(vs ...VertexID) error {
 			return fmt.Errorf("%w: id %d", ErrUnknownVertex, v)
 		}
 	}
-	if _, ok := c.simplices[s.Key()]; ok {
+	n := len(s)
+	var stack [64]byte
+	var buf []byte
+	if 4*n <= len(stack) {
+		buf = stack[:0]
+	} else {
+		buf = make([]byte, 0, 4*n)
+	}
+	for _, v := range s {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(v))
+	}
+	if _, ok := c.simplices[string(buf)]; ok {
 		return nil
 	}
-	for _, f := range s.Faces() {
-		c.simplices[f.Key()] = f
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				buf = binary.BigEndian.AppendUint32(buf, uint32(s[i]))
+			}
+		}
+		if _, ok := c.simplices[string(buf)]; ok {
+			continue
+		}
+		f := make(Simplex, 0, bits.OnesCount(uint(mask)))
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				f = append(f, s[i])
+			}
+		}
+		c.simplices[string(buf)] = f
 	}
 	c.facetCache = nil
 	return nil

@@ -69,7 +69,9 @@ var ErrBadInput = errors.New("solver: invalid input")
 // Solve searches for a chromatic simplicial map φ : L^ℓ(I) → O carried
 // by Δ for ℓ = 1..maxRounds with default options. L is given by its
 // membership predicate (use task.Membership() from the affine package,
-// or chromatic.FullChr2Membership for the wait-free IIS model).
+// or chromatic.FullChr2Membership for the wait-free IIS model); callers
+// holding an affine.Task should use SolveAffine, which consumes the
+// task's rank-indexed membership tables directly.
 func Solve(task *tasks.Task, member chromatic.Membership, maxRounds int) (*Result, error) {
 	return SolveWith(task, member, maxRounds, Options{})
 }
@@ -84,16 +86,27 @@ func SolveAffine(task *tasks.Task, l *affine.Task, maxRounds int) (*Result, erro
 
 // SolveAffineWith is SolveAffine with explicit options. When opts.Cache
 // is set and opts.CacheKey is empty, the affine task's signature is
-// used as the key.
+// used as the key. The subdivision engine consumes the task natively as
+// a chromatic.MemberTables provider (the flat-array fast path).
 func SolveAffineWith(task *tasks.Task, l *affine.Task, maxRounds int, opts Options) (*Result, error) {
 	if opts.Cache != nil && opts.CacheKey == "" {
 		opts.CacheKey = l.Signature()
 	}
-	return SolveWith(task, l.Membership(), maxRounds, opts)
+	return SolveTables(task, l, maxRounds, opts)
 }
 
-// SolveWith is Solve with explicit options.
+// SolveWith is Solve with explicit options. The membership callback is
+// adapted into table form once for the whole decision (evaluated once
+// per run per ground set), so every round reuses the tables.
 func SolveWith(task *tasks.Task, member chromatic.Membership, maxRounds int, opts Options) (*Result, error) {
+	return SolveTables(task, chromatic.TablesOf(member), maxRounds, opts)
+}
+
+// SolveTables is the table-form engine entry: L is given by its
+// membership-table provider (affine.Task implements it; use
+// chromatic.FullChr2Tables for the wait-free IIS model, or
+// chromatic.TablesOf to adapt a callback).
+func SolveTables(task *tasks.Task, tables chromatic.MemberTables, maxRounds int, opts Options) (*Result, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
@@ -125,10 +138,10 @@ func SolveWith(task *tasks.Task, member chromatic.Membership, maxRounds int, opt
 	res := &Result{}
 	for round := 1; round <= maxRounds; round++ {
 		if cached != nil {
-			if err := cached.EnsureHeight(member, round); err != nil {
+			if err := cached.EnsureHeightTables(tables, round); err != nil {
 				return nil, err
 			}
-		} else if err := tower.Extend(member); err != nil {
+		} else if err := tower.ExtendTables(tables); err != nil {
 			return nil, err
 		}
 		res.ComplexSizes = append(res.ComplexSizes, tower.LevelComplex(round).NumVertices())
@@ -385,14 +398,22 @@ func VerifyWitness(task *tasks.Task, member chromatic.Membership, rounds int, m 
 	return VerifyWitnessWith(task, member, rounds, m, Options{})
 }
 
-// VerifyWitnessWith is VerifyWitness with explicit engine options. The
-// simplex sweep is partitioned across opts.Workers goroutines with early
-// exit once a violation is found; because candidates are checked in the
+// VerifyWitnessWith is VerifyWitness with explicit engine options (see
+// VerifyWitnessTables; the callback is adapted into table form once for
+// the whole sweep).
+func VerifyWitnessWith(task *tasks.Task, member chromatic.Membership, rounds int, m sc.Map, opts Options) error {
+	return VerifyWitnessTables(task, chromatic.TablesOf(member), rounds, m, opts)
+}
+
+// VerifyWitnessTables is the table-form witness check (affine.Task is a
+// provider; the census engine passes it directly). The simplex sweep is
+// partitioned across opts.Workers goroutines with early exit once a
+// violation is found; because candidates are checked in the
 // deterministic sorted simplex order and the lowest-indexed violation
 // wins, the returned error is identical for every worker count. When
 // opts.Cache and opts.CacheKey are set the iterated subdivision is
 // acquired from (and shared through) the cache instead of being rebuilt.
-func VerifyWitnessWith(task *tasks.Task, member chromatic.Membership, rounds int, m sc.Map, opts Options) error {
+func VerifyWitnessTables(task *tasks.Task, tables chromatic.MemberTables, rounds int, m sc.Map, opts Options) error {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = chromatic.DefaultWorkers()
@@ -401,7 +422,7 @@ func VerifyWitnessWith(task *tasks.Task, member chromatic.Membership, rounds int
 	if opts.Cache != nil && opts.CacheKey != "" {
 		cached := opts.Cache.Acquire(opts.CacheKey, task.Input, workers)
 		defer cached.Release()
-		if err := cached.EnsureHeight(member, rounds); err != nil {
+		if err := cached.EnsureHeightTables(tables, rounds); err != nil {
 			return err
 		}
 		tower = cached.Tower()
@@ -409,7 +430,7 @@ func VerifyWitnessWith(task *tasks.Task, member chromatic.Membership, rounds int
 		tower = chromatic.NewTower(task.Input)
 		tower.SetWorkers(workers)
 		for i := 0; i < rounds; i++ {
-			if err := tower.Extend(member); err != nil {
+			if err := tower.ExtendTables(tables); err != nil {
 				return err
 			}
 		}

@@ -2,10 +2,13 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"slices"
 	"testing"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/census"
@@ -49,6 +52,42 @@ func BenchmarkCensusStoreLookup(b *testing.B) {
 			b.Fatalf("lookup %d: src=%v err=%v", idx, src, err)
 		}
 	}
+}
+
+// BenchmarkServeClassifyLatency measures the per-request latency
+// distribution of the HTTP classify path and reports the tail as a
+// "p99-ns/op" custom metric beside the mean ns/op. The CI bench-track
+// regex matches "Serve", and benchjson compare gates custom metric
+// regressions like ns/op ones — so a serve p99 regression fails CI.
+func BenchmarkServeClassifyLatency(b *testing.B) {
+	st := benchStore(b)
+	srv := registryServer(b, st, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	total := adversary.CensusSize(4)
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := uint64(i*2654435761) % total
+		t0 := time.Now()
+		resp, err := client.Get(fmt.Sprintf("%s/v1/classify?n=4&index=%d", ts.URL, idx))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	slices.Sort(lat)
+	p99 := lat[min(len(lat)*99/100, len(lat)-1)]
+	b.ReportMetric(float64(p99), "p99-ns/op")
 }
 
 // BenchmarkCensusServeClassify measures the full HTTP query path

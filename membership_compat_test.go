@@ -1,0 +1,68 @@
+package fact
+
+import "testing"
+
+// TestMembershipCompatShim is the deprecation-shim gate for the
+// flat-array engine redesign: external callers holding the old
+// callback-based Membership signature must keep compiling and working
+// against the public surface — the callback form stays a supported
+// compat path beside the rank-indexed tables.
+func TestMembershipCompatShim(t *testing.T) {
+	// The old signature, exactly as pre-redesign callers wrote it.
+	var member Membership = func(r Run2, key RunKey) bool {
+		return len(r.R1) <= 2
+	}
+
+	// Callback → table: the adapter bridges old callers onto the
+	// rank-indexed engine.
+	tables := TablesOf(member)
+	ground := FullSet(3)
+	mt := tables.MembershipTable(ground)
+	if mt.Ground() != ground {
+		t.Fatalf("table ground = %v, want %v", mt.Ground(), ground)
+	}
+	if mt.Len() == 0 || mt.Len() == mt.NumRuns() {
+		t.Fatalf("restricted predicate should accept a strict non-empty subset, got %d/%d", mt.Len(), mt.NumRuns())
+	}
+
+	// Direct table construction from the old signature.
+	if direct := NewMembershipTable(ground, member); direct.Len() != mt.Len() {
+		t.Fatalf("direct table Len %d != adapted Len %d", direct.Len(), mt.Len())
+	}
+
+	// Table → callback: the reverse adapter hands old-style consumers a
+	// working predicate again.
+	back := mt.Membership()
+	if back == nil {
+		t.Fatal("Membership() adapter returned nil")
+	}
+
+	// The full-complex sentinels exist in both forms.
+	if FullChr2Membership == nil {
+		t.Fatal("FullChr2Membership gone")
+	}
+	if full := FullChr2Tables.MembershipTable(ground); full.Len() != full.NumRuns() {
+		t.Fatal("FullChr2Tables rejected runs")
+	}
+
+	// An affine task still hands out the callback form, and it agrees
+	// with the task's native tables.
+	m, err := NewModel(TResilient(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := m.AffineTask()
+	var taskTables MemberTables = task // native provider, no adapter
+	old := task.Membership()
+	tmt := taskTables.MembershipTable(ground)
+	count := 0
+	for _, r := range task.Facets() {
+		if !old(r, r.Key()) {
+			t.Fatalf("task callback rejected its own facet %v", r)
+		}
+		count++
+	}
+	if count == 0 || tmt.Len() != count {
+		t.Fatalf("task table has %d full-ground runs, facets %d", tmt.Len(), count)
+	}
+}

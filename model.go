@@ -115,7 +115,7 @@ func (m *Model) SolveKSetConsensus(k, maxRounds int) (*SolveResult, error) {
 // R_A^rounds(I). The sweep runs on the model's worker pool (SetWorkers)
 // and reuses the process-wide tower cache.
 func (m *Model) VerifyWitness(task *Task, rounds int, witness VertexMap) error {
-	return solver.VerifyWitnessWith(task, m.ra.Membership(), rounds, witness, solver.Options{
+	return solver.VerifyWitnessTables(task, m.ra, rounds, witness, solver.Options{
 		Workers:  m.workers,
 		Cache:    chromatic.DefaultTowerCache,
 		CacheKey: m.ra.Signature(),
