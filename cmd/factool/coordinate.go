@@ -35,6 +35,7 @@ func cmdCoordinate(args []string) error {
 	logJSON := fs.Bool("log-json", false, "structured JSON request log on stderr")
 	exitOnComplete := fs.Bool("exit-on-complete", false, "shut down once every unit is merged (campaign runs, CI)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "in-flight request budget during shutdown")
+	debugAddr, tracePath := debugFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -68,6 +69,13 @@ func cmdCoordinate(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The debug surface reuses the coordinator's registry, so pprof and
+	// /metrics show the same campaign families as the protocol port.
+	stopDebug, err := startDebug("coordinate", *debugAddr, *tracePath, c.Registry())
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

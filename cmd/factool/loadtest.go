@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -31,20 +32,21 @@ type ltStats struct {
 
 // ltResult is the merged, reported outcome.
 type ltResult struct {
-	Requests   int           `json:"requests"`
-	Errors5xx  int           `json:"errors_5xx"`
-	Errors4xx  int           `json:"errors_4xx"`
-	Transport  int           `json:"transport_errors"`
-	Duration   float64       `json:"duration_sec"`
-	Throughput float64       `json:"requests_per_sec"`
-	P50Ms      float64       `json:"p50_ms"`
-	P90Ms      float64       `json:"p90_ms"`
-	P99Ms      float64       `json:"p99_ms"`
-	MaxMs      float64       `json:"max_ms"`
-	SLOP99Ms   float64       `json:"slo_p99_ms,omitempty"`
-	SLOOK      bool          `json:"slo_ok"`
-	byStatus   map[int]int   `json:"-"`
-	p99        time.Duration `json:"-"`
+	Requests   int            `json:"requests"`
+	Errors5xx  int            `json:"errors_5xx"`
+	Errors4xx  int            `json:"errors_4xx"`
+	Transport  int            `json:"transport_errors"`
+	Duration   float64        `json:"duration_sec"`
+	Throughput float64        `json:"requests_per_sec"`
+	P50Ms      float64        `json:"p50_ms"`
+	P90Ms      float64        `json:"p90_ms"`
+	P99Ms      float64        `json:"p99_ms"`
+	MaxMs      float64        `json:"max_ms"`
+	SLOP99Ms   float64        `json:"slo_p99_ms,omitempty"`
+	SLOOK      bool           `json:"slo_ok"`
+	ByStatus   map[string]int `json:"by_status"`
+	byStatus   map[int]int    `json:"-"`
+	p99        time.Duration  `json:"-"`
 }
 
 func cmdLoadtest(args []string) error {
@@ -268,6 +270,12 @@ func mergeLtStats(stats []ltStats, elapsed time.Duration, sloP99 time.Duration) 
 			}
 		}
 		lat = append(lat, st.lat...)
+	}
+	// String keys: JSON objects cannot key on ints, and jq-driven CI
+	// reads these counts structurally (e.g. .by_status["200"]).
+	res.ByStatus = make(map[string]int, len(res.byStatus))
+	for code, cnt := range res.byStatus {
+		res.ByStatus[strconv.Itoa(code)] = cnt
 	}
 	if res.Duration > 0 {
 		res.Throughput = float64(res.Requests) / res.Duration

@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -96,6 +97,8 @@ func run(args []string) error {
 		return cmdStore(args[1:])
 	case "loadtest":
 		return cmdLoadtest(args[1:])
+	case "tracecat":
+		return cmdTracecat(args[1:])
 	case "figures":
 		return cmdFigures(args[1:])
 	case "solve":
@@ -150,12 +153,20 @@ subcommands:
                                             sustained classify/solve load
                                             against a serve endpoint,
                                             p50/p90/p99 + SLO check
+  tracecat   [-json] [-top K] TRACE.jsonl...
+                                            summarize -trace span files:
+                                            per-stage latency table
   figures    -dir DIR                       regenerate figure SVGs
   solve      -n N -kind K [flags] -k K' [-workers W] [-stats]
                                             k-set consensus solvability
   simulate   -n N -kind K [flags]           Algorithm 1 + §6 campaigns
 
 adversary kinds (-kind): waitfree | tres (-t) | kof (-k) | fig5b
+
+observability: census, serve, coordinate and work also accept
+  -debug-addr HOST:PORT (side surface with /healthz, /metrics,
+  /debug/pprof and /debug/trace) and -trace FILE (span JSONL for
+  factool tracecat)
 `)
 }
 
@@ -170,21 +181,26 @@ var synopses = map[string]string{
 	"census": "-n N [-workers W] [-json] [-solve -ktask K -rounds L -verify] [-stats]\n" +
 		"                      [-progress] [-orbits] [-out F.jsonl] [-compress]\n" +
 		"                      [-checkpoint F -resume] [-checkpoint-every I]\n" +
-		"                      [-maxindices I] [-budget D] [-cachemb M]",
+		"                      [-maxindices I] [-budget D] [-cachemb M]\n" +
+		"                      [-debug-addr HOST:PORT] [-trace FILE]",
 	"merge": "-n N -store DIR [-block-entries B] [-summary] SHARD.jsonl[.gz]...",
 	"serve": "-store DIR [-store DIR ...] [-stores GLOB] [-addr HOST:PORT]\n" +
 		"                      [-apikeys FILE] [-log-json] [-metrics=false]\n" +
 		"                      [-cache-entries E] [-cachemb M] [-rounds L] [-readonly]\n" +
-		"                      [-no-presence] [-drain-timeout D]",
+		"                      [-no-presence] [-drain-timeout D]\n" +
+		"                      [-debug-addr HOST:PORT] [-trace FILE]",
 	"coordinate": "-n N -store DIR [-orbits] [-solve -ktask K -rounds L] [-unit-size U]\n" +
 		"                      [-addr HOST:PORT] [-ttl D] [-spool DIR] [-apikeys FILE]\n" +
-		"                      [-log-json] [-exit-on-complete] [-drain-timeout D]",
+		"                      [-log-json] [-exit-on-complete] [-drain-timeout D]\n" +
+		"                      [-debug-addr HOST:PORT] [-trace FILE]",
 	"work": "-url URL [-id W] [-workers W] [-ttl SEC] [-cachemb M] [-tmp DIR]\n" +
-		"                      [-max-units K] [-apikey KEY] [-max-outage D] [-crash-after K]",
+		"                      [-max-units K] [-apikey KEY] [-max-outage D] [-crash-after K]\n" +
+		"                      [-debug-addr HOST:PORT] [-trace FILE]",
 	"store verify": "-store DIR [-spot K] [-json]",
 	"loadtest": "-url URL -n N [-duration D] [-concurrency C] [-batch B]\n" +
 		"                      [-solve-frac F] [-batch-frac F] [-ktask K] [-seed S]\n" +
 		"                      [-apikey KEY] [-slo-p99 D] [-json]",
+	"tracecat": "[-json] [-top K] TRACE.jsonl... (stdin when no files)",
 	"figures":  "-dir DIR",
 	"solve":    "-n N -kind K [-t T] [-k K] -ktask K' [-rounds L] [-workers W] [-stats]",
 	"simulate": "-n N -kind K [-t T] [-k K] [-trials T] [-seed S]",
@@ -357,6 +373,7 @@ func cmdCensus(args []string) error {
 	maxIndices := fs.Uint64("maxindices", 0, "stop cleanly after about this many newly swept indices (0 = no cap)")
 	budget := fs.Duration("budget", 0, "wall-clock budget; the sweep winds down cleanly when it elapses (0 = none)")
 	cacheMB := fs.Int64("cachemb", 0, "tower-cache byte budget in MiB for -solve (0 = unbounded)")
+	debugAddr, tracePath := debugFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -380,10 +397,45 @@ func cmdCensus(args []string) error {
 		Budget:          *budget,
 		CacheBytes:      *cacheMB << 20,
 	}
+	stopDebug, derr := startDebug("census", *debugAddr, *tracePath, nil)
+	if derr != nil {
+		return derr
+	}
+	defer stopDebug()
 	if *progress {
+		// The engine's callback only stores counters; a wall-clock
+		// ticker prints rate and ETA, so the cadence is time-based
+		// instead of one line per shard.
+		var doneCount, totalCount atomic.Uint64
 		opts.Progress = func(done, total uint64) {
-			fmt.Fprintf(os.Stderr, "census: %d/%d adversaries\n", done, total)
+			doneCount.Store(done)
+			totalCount.Store(total)
 		}
+		stopTick := make(chan struct{})
+		defer close(stopTick)
+		go func() {
+			tick := time.NewTicker(5 * time.Second)
+			defer tick.Stop()
+			var lastDone uint64
+			lastAt := time.Now()
+			for {
+				select {
+				case <-stopTick:
+					return
+				case now := <-tick.C:
+					done, total := doneCount.Load(), totalCount.Load()
+					rate := float64(done-lastDone) / now.Sub(lastAt).Seconds()
+					lastDone, lastAt = done, now
+					line := fmt.Sprintf("census: %d/%d adversaries (%.1f%%), %.0f/s",
+						done, total, 100*float64(done)/float64(max(total, 1)), rate)
+					if rate > 0 && total > done {
+						eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+						line += ", eta " + eta.Round(time.Second).String()
+					}
+					fmt.Fprintln(os.Stderr, line)
+				}
+			}
+		}()
 	}
 
 	// The collecting engine materializes every entry (the full -json
@@ -532,6 +584,7 @@ func cmdServe(args []string) error {
 	logJSON := fs.Bool("log-json", false, "structured JSON request log on stderr")
 	noPresence := fs.Bool("no-presence", false, "skip building per-store presence filters at startup")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "in-flight request budget during graceful shutdown")
+	debugAddr, tracePath := debugFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -579,6 +632,11 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopDebug, err := startDebug("serve", *debugAddr, *tracePath, nil)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	handler := srv.Handler()
 	if !*metricsOn {
 		inner := handler

@@ -1,0 +1,176 @@
+package main
+
+// factool tracecat — summarize span-trace JSONL files written by the
+// -trace flag of the long-running subcommands (or streamed from a
+// /debug/trace endpoint). One row per stage (span name): count, total,
+// min, mean, p50, p99 and max, sorted by total time so the most
+// expensive stage of a campaign reads first.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stageSummary is one aggregated row of the tracecat report.
+type stageSummary struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MinMs   float64 `json:"min_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// tracecatReport is the -json output shape.
+type tracecatReport struct {
+	Spans   int            `json:"spans"`
+	Roots   int            `json:"roots"`
+	Orphans int            `json:"orphans"`
+	SpanMs  float64        `json:"span_ms"`
+	Stages  []stageSummary `json:"stages"`
+	Skipped int            `json:"skipped_lines,omitempty"`
+	Files   []string       `json:"files,omitempty"`
+}
+
+func cmdTracecat(args []string) error {
+	fs := newFlagSet("tracecat")
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON on stdout")
+	top := fs.Int("top", 0, "print only the K most expensive stages by total time (0 = all)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	files := fs.Args()
+
+	var spans []obs.Span
+	skipped := 0
+	readFrom := func(r io.Reader, name string) error {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var sp obs.Span
+			if err := json.Unmarshal(line, &sp); err != nil || sp.Name == "" {
+				skipped++
+				continue
+			}
+			spans = append(spans, sp)
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("tracecat: %s: %w", name, err)
+		}
+		return nil
+	}
+	if len(files) == 0 {
+		if err := readFrom(os.Stdin, "stdin"); err != nil {
+			return err
+		}
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = readFrom(f, path)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("tracecat: no spans found (expected JSONL from -trace or /debug/trace)")
+	}
+
+	rep := summarizeTrace(spans)
+	rep.Skipped = skipped
+	rep.Files = files
+	if *top > 0 && *top < len(rep.Stages) {
+		rep.Stages = rep.Stages[:*top]
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("tracecat: %d spans, %d roots, %d orphaned, %.1fms first-start to last-end\n",
+		rep.Spans, rep.Roots, rep.Orphans, rep.SpanMs)
+	if skipped > 0 {
+		fmt.Printf("  (%d unparseable lines skipped)\n", skipped)
+	}
+	fmt.Printf("%-28s %8s %12s %10s %10s %10s %10s %10s\n",
+		"stage", "count", "total", "min", "mean", "p50", "p99", "max")
+	for _, s := range rep.Stages {
+		fmt.Printf("%-28s %8d %11.1fms %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms\n",
+			s.Name, s.Count, s.TotalMs, s.MinMs, s.MeanMs, s.P50Ms, s.P99Ms, s.MaxMs)
+	}
+	return nil
+}
+
+// summarizeTrace folds spans into per-stage rows sorted by total time.
+func summarizeTrace(spans []obs.Span) *tracecatReport {
+	rep := &tracecatReport{Spans: len(spans)}
+	ids := make(map[obs.SpanID]bool, len(spans))
+	for _, sp := range spans {
+		ids[sp.ID] = true
+	}
+	byName := map[string][]time.Duration{}
+	var lo, hi int64
+	for _, sp := range spans {
+		switch {
+		case sp.Parent == 0:
+			rep.Roots++
+		case !ids[sp.Parent]:
+			// Parent evicted from the ring or in another file: the span
+			// still aggregates, but the nesting is incomplete.
+			rep.Orphans++
+		}
+		byName[sp.Name] = append(byName[sp.Name], sp.Duration())
+		if lo == 0 || sp.StartNS < lo {
+			lo = sp.StartNS
+		}
+		if sp.EndNS > hi {
+			hi = sp.EndNS
+		}
+	}
+	if hi > lo {
+		rep.SpanMs = float64(hi-lo) / float64(time.Millisecond)
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for name, durs := range byName {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		var total time.Duration
+		for _, d := range durs {
+			total += d
+		}
+		q := func(p float64) time.Duration { return durs[int(p*float64(len(durs)-1))] }
+		rep.Stages = append(rep.Stages, stageSummary{
+			Name:    name,
+			Count:   len(durs),
+			TotalMs: ms(total),
+			MinMs:   ms(durs[0]),
+			MeanMs:  ms(total) / float64(len(durs)),
+			P50Ms:   ms(q(0.50)),
+			P99Ms:   ms(q(0.99)),
+			MaxMs:   ms(durs[len(durs)-1]),
+		})
+	}
+	sort.Slice(rep.Stages, func(i, j int) bool {
+		if rep.Stages[i].TotalMs != rep.Stages[j].TotalMs {
+			return rep.Stages[i].TotalMs > rep.Stages[j].TotalMs
+		}
+		return rep.Stages[i].Name < rep.Stages[j].Name
+	})
+	return rep
+}

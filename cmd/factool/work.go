@@ -11,6 +11,7 @@ import (
 	"syscall"
 
 	fact "repro"
+	"repro/internal/obs"
 )
 
 func cmdWork(args []string) error {
@@ -25,6 +26,7 @@ func cmdWork(args []string) error {
 	apikey := fs.String("apikey", "", "API key sent as a Bearer token")
 	maxOutage := fs.Duration("max-outage", 0, "give up after the coordinator is unreachable this long (0 = retry forever)")
 	crashAfter := fs.Int("crash-after", 0, "fault injection: die holding a lease after completing this many units")
+	debugAddr, tracePath := debugFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -47,6 +49,16 @@ func cmdWork(args []string) error {
 		MaxOutage:  *maxOutage,
 		Log:        os.Stderr,
 	}
+	// The worker's scrape surface: its own sweep/lease families plus the
+	// process-global ones (census throughput, solver decisions, runtime).
+	reg := obs.NewRegistry()
+	reg.Include(obs.Default)
+	opts.Registry = reg
+	stopDebug, err := startDebug("work", *debugAddr, *tracePath, reg)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	if *crashAfter > 0 {
 		target := *crashAfter + 1
 		opts.AcquireHook = func(k int, leaseID string, u fact.FabricUnit) error {

@@ -1,139 +1,46 @@
 package api
 
-// Hand-rolled Prometheus-format metric primitives: counters,
-// label-vector counters and fixed-bucket histograms backed by atomics,
-// with text exposition on /metrics. No client library — the exposition
-// format is a few lines of text and the v1 surfaces need exactly
-// counters, histograms and scrape-time gauges.
+// Metric primitives for the v1 HTTP surfaces. The counter/histogram/
+// gauge implementations moved to internal/obs (the process-wide
+// telemetry plane) in the observability PR; the serve and fabric
+// surfaces keep building against the api names, which are now thin
+// aliases. Only HTTPMetrics — the request-shaped bundle the middleware
+// feeds — lives here.
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sort"
-	"strings"
-	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// CounterVec is a labeled counter family (one label dimension set at
-// construction; values materialize on first use).
-type CounterVec struct {
-	name   string
-	help   string
-	labels []string
+// CounterVec is a labeled counter family. See obs.CounterVec.
+type CounterVec = obs.CounterVec
 
-	mu   sync.Mutex
-	vals map[string]*atomic.Uint64 // key: joined label values
-}
-
-// NewCounterVec builds a counter family with the given label names.
-func NewCounterVec(name, help string, labels ...string) *CounterVec {
-	return &CounterVec{name: name, help: help, labels: labels, vals: make(map[string]*atomic.Uint64)}
-}
-
-// With returns the counter for one label-value combination.
-func (c *CounterVec) With(values ...string) *atomic.Uint64 {
-	key := strings.Join(values, "\x00")
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.vals[key]
-	if !ok {
-		v = new(atomic.Uint64)
-		c.vals[key] = v
-	}
-	return v
-}
-
-// Write emits the family in Prometheus text exposition format, rows
-// sorted by label values.
-func (c *CounterVec) Write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
-	c.mu.Lock()
-	keys := make([]string, 0, len(c.vals))
-	for k := range c.vals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	type kv struct {
-		key string
-		val uint64
-	}
-	rows := make([]kv, 0, len(keys))
-	for _, k := range keys {
-		rows = append(rows, kv{k, c.vals[k].Load()})
-	}
-	c.mu.Unlock()
-	for _, r := range rows {
-		values := strings.Split(r.key, "\x00")
-		parts := make([]string, len(c.labels))
-		for i, l := range c.labels {
-			parts[i] = fmt.Sprintf("%s=%q", l, values[i])
-		}
-		fmt.Fprintf(w, "%s{%s} %d\n", c.name, strings.Join(parts, ","), r.val)
-	}
-}
-
-// Histogram is a fixed-bucket Prometheus histogram (cumulative buckets
-// materialized at exposition; observation is two atomic adds and a
-// bucket increment).
-type Histogram struct {
-	name    string
-	help    string
-	buckets []float64 // upper bounds, ascending
-	counts  []atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits
-	count   atomic.Uint64
-}
+// Histogram is a fixed-bucket Prometheus histogram. See obs.Histogram.
+type Histogram = obs.Histogram
 
 // DefaultLatencyBuckets span sub-millisecond store hits through
 // multi-second live solves.
-var DefaultLatencyBuckets = []float64{
-	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+var DefaultLatencyBuckets = obs.DefaultLatencyBuckets
+
+// NewCounterVec builds a counter family with the given label names.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return obs.NewCounterVec(name, help, labels...)
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds.
 func NewHistogram(name, help string, buckets []float64) *Histogram {
-	return &Histogram{name: name, help: help, buckets: buckets, counts: make([]atomic.Uint64, len(buckets))}
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	i := sort.SearchFloat64s(h.buckets, v)
-	if i < len(h.counts) {
-		h.counts[i].Add(1)
-	}
-	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
-	}
-}
-
-// Write emits the histogram in Prometheus text exposition format.
-func (h *Histogram) Write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
-	var cum uint64
-	for i, ub := range h.buckets {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, FormatFloat(ub), cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.count.Load())
-	fmt.Fprintf(w, "%s_sum %s\n", h.name, FormatFloat(math.Float64frombits(h.sumBits.Load())))
-	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+	return obs.NewHistogram(name, help, buckets)
 }
 
 // FormatFloat renders a float without trailing zeros, matching the
 // bucket labels Prometheus clients emit.
-func FormatFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
-}
+func FormatFloat(v float64) string { return obs.FormatFloat(v) }
 
 // WriteGauge emits one gauge sample with its HELP/TYPE header.
 func WriteGauge(w io.Writer, name, help string, val int64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, val)
+	obs.WriteGauge(w, name, help, val)
 }
 
 // HTTPMetrics is the per-surface request metric set the middleware
@@ -168,3 +75,7 @@ func (m *HTTPMetrics) Write(w io.Writer) {
 	m.RequestSeconds.Write(w)
 	WriteGauge(w, m.prefix+"_inflight_requests", "Requests currently being served.", m.Inflight.Load())
 }
+
+// WritePrometheus implements obs.Collector, so an HTTPMetrics set can
+// register directly into an obs.Registry.
+func (m *HTTPMetrics) WritePrometheus(w io.Writer) { m.Write(w) }

@@ -40,12 +40,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/chromatic"
+	"repro/internal/obs"
 )
 
 // MaxDomain bounds the enumeration spaces Run materializes: the
@@ -152,6 +154,17 @@ type Options struct {
 	// (monotone) and the domain size. Calls come from worker
 	// goroutines, one at a time.
 	Progress func(done, total uint64)
+
+	// Tracer records the run's spans (census.sweep → census.shard →
+	// census.solve). Nil selects obs.DefaultTracer; tracing is always
+	// on — the ring is bounded and span cost is nanoseconds against
+	// shard work.
+	Tracer *obs.Tracer
+
+	// TraceParent, when nonzero, is the span the run's census.sweep
+	// span nests under — the fabric worker passes its unit-lease span
+	// here so one trace spans campaign → lease → sweep → solve.
+	TraceParent obs.SpanID
 
 	// examineHook, when non-nil, observes every examined index before
 	// its entry is reordered (test instrumentation: any goroutine).
@@ -344,6 +357,14 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		env.orbits = adversary.NewOrbits(n)
 	}
 
+	sweep := env.tracer.Start("census.sweep", opts.TraceParent,
+		"n", strconv.Itoa(n),
+		"orbits", strconv.FormatBool(opts.Orbits),
+		"solve", strconv.FormatBool(opts.Solve),
+		"start", strconv.FormatUint(start, 10),
+		"end", strconv.FormatUint(end, 10))
+	defer sweep.End()
+
 	// Shard budget of a full-domain run: whole domain remainder,
 	// optionally capped by MaxIndices (rounded up to whole shards so
 	// the frontier stays contiguous). Orbit runs are fed by the block
@@ -450,6 +471,9 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 				if !em.waitTurn(s) {
 					return
 				}
+				shardSpan := env.tracer.Start("census.shard", sweep.ID(),
+					"seq", strconv.FormatUint(s, 10))
+				shardStart := time.Now()
 				buf = buf[:0]
 				var covered uint64
 				short := false
@@ -470,7 +494,7 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 							opts.examineHook(r.idx)
 						}
 						covered = r.idx + 1
-						e, err := env.examine(r.idx)
+						e, err := env.examine(r.idx, shardSpan.ID())
 						if err != nil {
 							em.fail(err)
 							return
@@ -497,7 +521,7 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 							opts.examineHook(idx)
 						}
 						covered = idx + 1
-						e, err := env.examine(idx)
+						e, err := env.examine(idx, shardSpan.ID())
 						if err != nil {
 							em.fail(err)
 							return
@@ -506,6 +530,9 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 					}
 					short = covered < hi
 				}
+				censusShardSeconds.Observe(time.Since(shardStart).Seconds())
+				shardSpan.SetAttr("entries", strconv.Itoa(len(buf)))
+				shardSpan.End()
 				entries := make([]Entry, len(buf))
 				copy(entries, buf)
 				if !em.deliver(s, entries, covered, short) {
@@ -531,6 +558,7 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		}
 	}
 
+	sweep.SetAttr("frontier", strconv.FormatUint(em.frontierIdx, 10))
 	rep := &Report{Summary: sum}
 	if em.frontierIdx < total {
 		rep.Incomplete = true
@@ -793,6 +821,7 @@ func (em *emitter) deliver(s uint64, entries []Entry, hi uint64, short bool) boo
 				return false
 			}
 			em.emitted++
+			censusEntriesEmitted.Inc()
 			em.aggregate(e)
 		}
 		em.nextShard++
@@ -815,6 +844,7 @@ func (em *emitter) deliver(s uint64, entries []Entry, hi uint64, short bool) boo
 			em.progress(em.frontierIdx, em.total)
 		}
 	}
+	censusReorderParked.Set(int64(len(em.parked)))
 	em.cond.Broadcast()
 	return !em.cutoff
 }
@@ -877,6 +907,8 @@ func (em *emitter) writeCheckpoint() error {
 }
 
 func (em *emitter) writeCheckpointLocked() error {
+	flushStart := time.Now()
+	defer func() { censusCheckpointSeconds.Observe(time.Since(flushStart).Seconds()) }()
 	if f, ok := em.sink.(Flusher); ok {
 		if err := f.Flush(); err != nil {
 			return err

@@ -8,10 +8,12 @@ package census
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/adversary"
 	"repro/internal/affine"
 	"repro/internal/chromatic"
+	"repro/internal/obs"
 	"repro/internal/procs"
 	"repro/internal/solver"
 	"repro/internal/tasks"
@@ -29,6 +31,7 @@ type runEnv struct {
 	kTask     int
 	maxRounds int
 	verify    bool
+	tracer    *obs.Tracer
 }
 
 // newRunEnv normalizes the examination-shaping options into the shared
@@ -57,6 +60,10 @@ func newRunEnv(n int, opts *Options) *runEnv {
 	if universe == nil {
 		universe = chromatic.NewUniverse(n)
 	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer
+	}
 	return &runEnv{
 		n:         n,
 		all:       adversary.EnumerationDomain(n),
@@ -66,14 +73,17 @@ func newRunEnv(n int, opts *Options) *runEnv {
 		kTask:     kTask,
 		maxRounds: maxRounds,
 		verify:    opts.VerifyWitnesses,
+		tracer:    tracer,
 	}
 }
 
 // examine classifies (and optionally solves) the adversary at one
-// enumeration index. Pure per index: no cross-shard state beyond the
+// enumeration index, recording a census.solve span under parent when a
+// solve job runs. Pure per index: no cross-shard state beyond the
 // concurrency-safe Universe and TowerCache, so concurrent calls are
 // safe.
-func (env *runEnv) examine(idx uint64) (Entry, error) {
+func (env *runEnv) examine(idx uint64, parent obs.SpanID) (Entry, error) {
+	censusIndicesExamined.Inc()
 	a := adversary.AdversaryAtIn(env.n, env.all, idx)
 	live := a.LiveSets()
 	masks := make([]uint32, len(live))
@@ -95,6 +105,9 @@ func (env *runEnv) examine(idx uint64) (Entry, error) {
 	}
 	// Solve jobs run serially inside each worker (Workers: 1): the
 	// census parallelism is across adversaries, not within one solve.
+	solveSpan := env.tracer.Start("census.solve", parent,
+		"index", strconv.FormatUint(idx, 10))
+	defer solveSpan.End()
 	ra, err := affine.BuildRAForAdversary(env.universe, a, affine.DefaultVariant)
 	if err != nil {
 		return e, fmt.Errorf("census: R_A for %v: %w", a, err)
@@ -102,19 +115,22 @@ func (env *runEnv) examine(idx uint64) (Entry, error) {
 	e.RAFacets = ra.NumFacets()
 	task := tasks.KSetConsensus(env.n, env.kTask)
 	res, err := solver.SolveAffineWith(task, ra, env.maxRounds, solver.Options{
-		Workers: 1,
-		Cache:   env.cache,
+		Workers:     1,
+		Cache:       env.cache,
+		TraceParent: solveSpan.ID(),
 	})
 	e.Solved = true
 	switch {
 	case errors.Is(err, solver.ErrSearchLimit):
 		e.Undecided = true
+		solveSpan.SetAttr("outcome", "undecided")
 		return e, nil
 	case err != nil:
 		return e, fmt.Errorf("census: solve %v: %w", a, err)
 	}
 	solvable := res.Solvable
 	e.Solvable = &solvable
+	solveSpan.SetAttr("outcome", map[bool]string{true: "solvable", false: "unsolvable"}[solvable])
 	if solvable {
 		e.Rounds = res.Rounds
 		if env.verify {
@@ -159,7 +175,7 @@ func (x *Examiner) Examine(idx uint64) (Entry, error) {
 	if idx >= adversary.CensusSize(x.env.n) {
 		return Entry{}, fmt.Errorf("census: index %d beyond the n=%d domain", idx, x.env.n)
 	}
-	return x.env.examine(idx)
+	return x.env.examine(idx, 0)
 }
 
 // CacheSnapshot reports the examiner's tower-cache statistics.

@@ -1,0 +1,32 @@
+package census
+
+// Process-global census metric families. They register into
+// obs.Default at init, so every sweep in the process — full-domain,
+// orbit-mode, range-scoped fabric units, single-index Examiner queries
+// — feeds one set of series, and any surface that Includes obs.Default
+// (worker -debug-addr, census -debug-addr, coordinator /metrics)
+// exposes them for free.
+
+import "repro/internal/obs"
+
+var (
+	censusIndicesExamined = obs.NewCounter("factool_census_indices_examined_total",
+		"Enumeration indices examined (classified, and solved when solving).")
+	censusEntriesEmitted = obs.NewCounter("factool_census_entries_emitted_total",
+		"Census entries delivered to sinks in frontier order.")
+	censusShardSeconds = obs.NewHistogram("factool_census_shard_seconds",
+		"Per-shard examination latency in seconds (excludes reorder-window waits).",
+		obs.DefaultLatencyBuckets)
+	censusCheckpointSeconds = obs.NewHistogram("factool_census_checkpoint_seconds",
+		"Checkpoint flush+persist latency in seconds.", obs.DefaultLatencyBuckets)
+	censusReorderParked = obs.NewGauge("factool_census_reorder_parked",
+		"Completed shards parked out-of-order in the reorder window.")
+)
+
+func init() {
+	obs.Default.MustRegister("census-indices", censusIndicesExamined)
+	obs.Default.MustRegister("census-entries", censusEntriesEmitted)
+	obs.Default.MustRegister("census-shard-seconds", censusShardSeconds)
+	obs.Default.MustRegister("census-checkpoint-seconds", censusCheckpointSeconds)
+	obs.Default.MustRegister("census-reorder-parked", censusReorderParked)
+}

@@ -20,9 +20,12 @@ package chromatic
 
 import (
 	"container/list"
+	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/sc"
 )
 
@@ -228,6 +231,24 @@ func (c *TowerCache) Snapshot() CacheStats {
 	return st
 }
 
+// WritePrometheus emits the cache counters and size gauges in
+// Prometheus text format. Unlike Snapshot it never walks the towers
+// (Levels/Vertices are omitted), so it is cheap enough for every
+// scrape of a long campaign; it implements obs.Collector so a cache
+// registers directly into a telemetry registry.
+func (c *TowerCache) WritePrometheus(w io.Writer) {
+	c.mu.Lock()
+	towers := len(c.entries)
+	bytes, maxBytes := c.bytes, c.maxBytes
+	c.mu.Unlock()
+	obs.WriteGauge(w, "factool_tower_cache_towers", "Towers resident in the shared subdivision cache.", int64(towers))
+	obs.WriteGauge(w, "factool_tower_cache_bytes", "Approximate resident bytes of the shared subdivision cache.", bytes)
+	obs.WriteGauge(w, "factool_tower_cache_max_bytes", "Byte budget of the shared subdivision cache (0 = unbounded).", maxBytes)
+	obs.WriteGauge(w, "factool_tower_cache_hits", "Subdivision cache hits.", c.hits.Load())
+	obs.WriteGauge(w, "factool_tower_cache_misses", "Subdivision cache misses.", c.misses.Load())
+	obs.WriteGauge(w, "factool_tower_cache_evictions", "Subdivision cache evictions.", c.evictions.Load())
+}
+
 // Len returns the number of cached towers.
 func (c *TowerCache) Len() int {
 	c.mu.Lock()
@@ -254,17 +275,33 @@ func (ct *CachedTower) EnsureHeight(member Membership, height int) error {
 // Concurrent calls are serialized; already-built levels are never
 // rebuilt.
 func (ct *CachedTower) EnsureHeightTables(tables MemberTables, height int) error {
+	return ct.EnsureHeightTablesTraced(tables, height, 0)
+}
+
+// EnsureHeightTablesTraced is EnsureHeightTables recording a
+// chromatic.tower_extend span under parent when the tower actually
+// grows (already-built heights record nothing, keeping the per-round
+// fast path span-free).
+func (ct *CachedTower) EnsureHeightTablesTraced(tables MemberTables, height int, parent obs.SpanID) error {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
-	grew := false
+	var span *obs.ActiveSpan
+	from := ct.tower.Height()
 	for ct.tower.Height() < height {
+		if span == nil {
+			span = obs.DefaultTracer.Start("chromatic.tower_extend", parent,
+				"from", strconv.Itoa(from), "to", strconv.Itoa(height))
+		}
 		if err := ct.tower.ExtendTables(tables); err != nil {
+			span.End()
 			return err
 		}
-		grew = true
 	}
-	if grew && ct.cache != nil {
-		ct.cache.resize(ct)
+	if span != nil {
+		span.End()
+		if ct.cache != nil {
+			ct.cache.resize(ct)
+		}
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -49,6 +50,10 @@ type CoordinatorOptions struct {
 	// Log, when non-nil, receives one line per campaign event (lease
 	// granted / expired+requeued / completed / conflict).
 	Log io.Writer
+
+	// Tracer records the campaign's spans (fabric.campaign →
+	// fabric.lease → fabric.merge). Nil selects obs.DefaultTracer.
+	Tracer *obs.Tracer
 
 	// now overrides the clock (lease-expiry tests).
 	now func() time.Time
@@ -85,6 +90,7 @@ type lease struct {
 	done     bool
 	released bool
 	expired  bool
+	span     *obs.ActiveSpan // fabric.lease, ended at complete/expire/release
 }
 
 // workerStat aggregates one worker id's activity for /v1/fabric/status.
@@ -99,6 +105,7 @@ type fabricMetrics struct {
 	http         *api.HTTPMetrics
 	leases       *api.CounterVec // event: granted|renewed|completed|expired|released|conflict
 	mergeSeconds *api.Histogram
+	mergedBytes  *obs.Counter
 }
 
 func newFabricMetrics() *fabricMetrics {
@@ -107,6 +114,8 @@ func newFabricMetrics() *fabricMetrics {
 		leases: api.NewCounterVec("factool_fabric_leases_total", "Lease lifecycle events by kind.", "event"),
 		mergeSeconds: api.NewHistogram("factool_fabric_merge_seconds",
 			"Shard validate+merge latency in seconds.", api.DefaultLatencyBuckets),
+		mergedBytes: obs.NewCounter("factool_fabric_merged_bytes_total",
+			"Compressed shard bytes folded into the ledger store."),
 	}
 }
 
@@ -114,12 +123,15 @@ func newFabricMetrics() *fabricMetrics {
 // completed shards into the store. Create with NewCoordinator, serve
 // Handler; all methods are safe for concurrent use.
 type Coordinator struct {
-	st      *store.Store
-	camp    Campaign
-	opts    CoordinatorOptions
-	mw      *api.Middleware
-	m       *fabricMetrics
-	started time.Time
+	st       *store.Store
+	camp     Campaign
+	opts     CoordinatorOptions
+	mw       *api.Middleware
+	m        *fabricMetrics
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	campSpan *obs.ActiveSpan
+	started  time.Time
 
 	mu        sync.Mutex
 	units     []*unitState
@@ -197,6 +209,26 @@ func NewCoordinator(st *store.Store, camp Campaign, opts CoordinatorOptions) (*C
 		Auth:      opts.Auth,
 		AccessLog: opts.AccessLog,
 	})
+	c.tracer = opts.Tracer
+	if c.tracer == nil {
+		c.tracer = obs.DefaultTracer
+	}
+	// Per-instance registry: the coordinator's own families plus the
+	// process-global ones (census, solver, runtime), so one scrape of
+	// /metrics sees the whole campaign — and two coordinators in one
+	// test process never collide on registration.
+	c.reg = obs.NewRegistry()
+	c.reg.MustRegister("fabric-http", c.m.http)
+	c.reg.MustRegister("fabric-leases", c.m.leases)
+	c.reg.MustRegister("fabric-merge-seconds", c.m.mergeSeconds)
+	c.reg.MustRegister("fabric-merged-bytes", c.m.mergedBytes)
+	c.reg.MustRegister("fabric-campaign", obs.CollectorFunc(c.writeCampaignGauges))
+	c.reg.Include(obs.Default)
+	c.campSpan = c.tracer.Start("fabric.campaign", 0,
+		"n", fmt.Sprint(camp.N),
+		"orbits", fmt.Sprint(camp.Orbits),
+		"solve", fmt.Sprint(camp.Solve),
+		"units", fmt.Sprint(len(units)))
 	for _, u := range units {
 		c.units = append(c.units, &unitState{Unit: u})
 	}
@@ -209,7 +241,7 @@ func NewCoordinator(st *store.Store, camp Campaign, opts CoordinatorOptions) (*C
 		}
 	}
 	if c.doneUnits == len(c.units) {
-		c.doneOnce.Do(func() { close(c.doneCh) })
+		c.markDone()
 		c.logf("campaign already complete: %d units resident in the store", c.doneUnits)
 	} else {
 		c.logf("campaign open: %d/%d units resident, %d to sweep",
@@ -260,6 +292,19 @@ func (c *Coordinator) recover() error {
 // Done is closed once every unit's entries are resident in the store.
 func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
 
+// markDone closes the done channel and ends the campaign span, once.
+func (c *Coordinator) markDone() {
+	c.doneOnce.Do(func() {
+		close(c.doneCh)
+		c.campSpan.End()
+	})
+}
+
+// Registry exposes the coordinator's telemetry registry (its own
+// families plus the included process-global ones) so a -debug-addr
+// surface can serve the same exposition as /metrics.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
 // logf writes one campaign event line.
 func (c *Coordinator) logf(format string, args ...any) {
 	if c.opts.Log == nil {
@@ -293,6 +338,8 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		}
 		l.expired = true
 		c.m.leases.With("expired").Add(1)
+		l.span.SetAttr("outcome", "expired")
+		l.span.End()
 		us := c.units[l.unitID]
 		if us.status == unitLeased && us.holder == l.id {
 			us.status = unitPending
@@ -372,6 +419,11 @@ func (c *Coordinator) handleAcquire(w http.ResponseWriter, r *http.Request) {
 		ttl:      ttl,
 		deadline: now.Add(ttl),
 	}
+	l.span = c.tracer.Start("fabric.lease", c.campSpan.ID(),
+		"lease", l.id,
+		"unit", fmt.Sprint(us.ID),
+		"worker", req.Worker,
+		"attempt", fmt.Sprint(us.attempts+1))
 	c.leases[l.id] = l
 	us.status = unitLeased
 	us.holder = l.id
@@ -444,6 +496,8 @@ func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
 	c.touchWorkerLocked(l.worker, now)
 	if !l.done && !l.released && !l.expired {
 		l.released = true
+		l.span.SetAttr("outcome", "released")
+		l.span.End()
 		us := c.units[l.unitID]
 		if us.status == unitLeased && us.holder == l.id {
 			us.status = unitPending
@@ -478,7 +532,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 	// Spool, validate and merge outside the ledger lock: merges are
 	// the slow path and the store serializes them itself.
-	spool, err := c.spoolShard(r.Body)
+	spool, shardBytes, err := c.spoolShard(r.Body)
 	if spool != "" {
 		defer os.Remove(spool)
 	}
@@ -487,7 +541,11 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
+	mergeSpan := c.tracer.Start("fabric.merge", l.span.ID(),
+		"unit", fmt.Sprint(unit.ID), "bytes", fmt.Sprint(shardBytes))
 	if err := validateShard(spool, unit); err != nil {
+		mergeSpan.SetAttr("outcome", "invalid")
+		mergeSpan.End()
 		api.Error(w, r, http.StatusBadRequest, "lease %s unit %d: %v", l.id, unit.ID, err)
 		return
 	}
@@ -495,8 +553,10 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	c.m.mergeSeconds.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		status := http.StatusInternalServerError
+		outcome := "error"
 		if errors.Is(err, store.ErrConflict) || errors.Is(err, store.ErrKindMismatch) {
 			status = http.StatusConflict
+			outcome = "conflict"
 			c.mu.Lock()
 			c.units[l.unitID].conflict = err.Error()
 			c.conflicts++
@@ -504,9 +564,15 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			c.m.leases.With("conflict").Add(1)
 			c.logf("lease %s: unit %d CONFLICT: %v", l.id, unit.ID, err)
 		}
+		mergeSpan.SetAttr("outcome", outcome)
+		mergeSpan.End()
 		api.Error(w, r, status, "merging unit %d: %v", unit.ID, err)
 		return
 	}
+	c.m.mergedBytes.Add(uint64(shardBytes))
+	mergeSpan.SetAttr("added", fmt.Sprint(stats.Added))
+	mergeSpan.SetAttr("duplicates", fmt.Sprint(stats.Duplicates))
+	mergeSpan.End()
 
 	now := c.opts.now()
 	c.mu.Lock()
@@ -531,10 +597,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	done, total := c.doneUnits, len(c.units)
 	c.mu.Unlock()
 	c.m.leases.With("completed").Add(1)
+	l.span.SetAttr("outcome", "completed")
+	l.span.End()
 	c.logf("lease %s: unit %d completed by %s (added %d, duplicates %d) [%d/%d]",
 		l.id, unit.ID, l.worker, stats.Added, stats.Duplicates, done, total)
 	if done == total {
-		c.doneOnce.Do(func() { close(c.doneCh) })
+		c.markDone()
 		c.logf("campaign complete: %d units, %d entries in the store", total, c.st.Stats().Entries)
 	}
 	api.WriteJSON(w, completeResponse{
@@ -543,23 +611,24 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// spoolShard copies an upload to disk, enforcing the size cap.
-func (c *Coordinator) spoolShard(body io.Reader) (string, error) {
+// spoolShard copies an upload to disk, enforcing the size cap. It
+// returns the spool path and the compressed byte count received.
+func (c *Coordinator) spoolShard(body io.Reader) (string, int64, error) {
 	f, err := os.CreateTemp(c.opts.SpoolDir, "fabric-shard-*.jsonl.gz")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	n, err := io.Copy(f, io.LimitReader(body, c.opts.MaxShardBytes+1))
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return f.Name(), err
+		return f.Name(), n, err
 	}
 	if n > c.opts.MaxShardBytes {
-		return f.Name(), fmt.Errorf("shard exceeds the %d-byte cap", c.opts.MaxShardBytes)
+		return f.Name(), n, fmt.Errorf("shard exceeds the %d-byte cap", c.opts.MaxShardBytes)
 	}
-	return f.Name(), nil
+	return f.Name(), n, nil
 }
 
 // validateShard checks an uploaded shard covers its unit exactly:
@@ -691,16 +760,20 @@ func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	api.WriteJSON(w, map[string]string{"status": "ready"})
 }
 
-func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	c.m.http.Write(w)
-	c.m.leases.Write(w)
-	c.m.mergeSeconds.Write(w)
+// writeCampaignGauges derives the campaign progress gauges from one
+// Status snapshot at scrape time (registered as a collector in c.reg).
+func (c *Coordinator) writeCampaignGauges(w io.Writer) {
 	st := c.Status()
 	api.WriteGauge(w, "factool_fabric_units_total", "Work units in the campaign.", int64(st.Units.Total))
 	api.WriteGauge(w, "factool_fabric_units_done", "Work units whose entries are resident in the store.", int64(st.Units.Done))
 	api.WriteGauge(w, "factool_fabric_units_leased", "Work units currently leased.", int64(st.Units.Leased))
 	api.WriteGauge(w, "factool_fabric_units_pending", "Work units awaiting a lease.", int64(st.Units.Pending))
 	api.WriteGauge(w, "factool_fabric_units_conflict", "Work units with a conflicting completion.", int64(st.Units.Conflict))
+	api.WriteGauge(w, "factool_fabric_requeues_total", "Units requeued after lease expiry.", int64(st.Requeues))
 	api.WriteGauge(w, "factool_fabric_store_entries", "Entries resident in the ledger store.", int64(st.StoreEntries))
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.reg.WritePrometheus(w)
 }

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/census"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -588,5 +590,179 @@ func TestCoordinatorRejectsMismatchedStore(t *testing.T) {
 	}
 	if _, err := NewCoordinator(st, Campaign{N: 0}, CoordinatorOptions{}); err == nil {
 		t.Fatal("bad n accepted")
+	}
+}
+
+// TestFabricTraceSpans: a drained campaign under a private tracer
+// yields one ended fabric.campaign span, a completed fabric.lease span
+// per unit nested under it, and worker-side unit/sweep spans nested
+// under the worker's fabric.work span.
+func TestFabricTraceSpans(t *testing.T) {
+	tr := obs.NewTracer(obs.DefaultRingSpans)
+	camp := Campaign{N: 3, Orbits: true}
+	st, err := store.Create(t.TempDir(), camp.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c, srv, _ := coordOver(t, st, camp, CoordinatorOptions{UnitSize: 8, Tracer: tr})
+	if _, err := Work(WorkerOptions{
+		BaseURL: srv.URL, ID: "w0", Workers: 2, TempDir: t.TempDir(), Tracer: tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("campaign not done after worker returned")
+	}
+
+	byName := map[string][]obs.Span{}
+	for _, s := range tr.Spans() {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if len(byName["fabric.campaign"]) != 1 {
+		t.Fatalf("want 1 fabric.campaign span, got %d", len(byName["fabric.campaign"]))
+	}
+	campaign := byName["fabric.campaign"][0]
+	if campaign.Parent != 0 || campaign.EndNS <= campaign.StartNS {
+		t.Fatalf("campaign span malformed: %+v", campaign)
+	}
+
+	total := c.Status().Units.Total
+	unitsSeen := map[string]bool{}
+	for _, l := range byName["fabric.lease"] {
+		if l.Parent != campaign.ID {
+			t.Fatalf("lease span %d has parent %d, campaign is %d", l.ID, l.Parent, campaign.ID)
+		}
+		if l.Attrs["outcome"] == "completed" {
+			unitsSeen[l.Attrs["unit"]] = true
+		}
+	}
+	if len(unitsSeen) != total {
+		t.Fatalf("completed lease spans cover %d units, campaign has %d", len(unitsSeen), total)
+	}
+
+	if len(byName["fabric.work"]) != 1 {
+		t.Fatalf("want 1 fabric.work span, got %d", len(byName["fabric.work"]))
+	}
+	work := byName["fabric.work"][0]
+	unitIDs := map[obs.SpanID]bool{}
+	for _, u := range byName["fabric.unit"] {
+		if u.Parent != work.ID {
+			t.Fatalf("unit span %d has parent %d, work is %d", u.ID, u.Parent, work.ID)
+		}
+		unitIDs[u.ID] = true
+	}
+	if len(unitIDs) != total {
+		t.Fatalf("worker ran %d unit spans, campaign has %d units", len(unitIDs), total)
+	}
+	if len(byName["census.sweep"]) == 0 || len(byName["fabric.upload"]) == 0 {
+		t.Fatalf("missing sweep/upload spans: sweeps=%d uploads=%d",
+			len(byName["census.sweep"]), len(byName["fabric.upload"]))
+	}
+	for _, s := range byName["census.sweep"] {
+		if !unitIDs[s.Parent] {
+			t.Fatalf("sweep span %d not nested under a unit span (parent %d)", s.ID, s.Parent)
+		}
+	}
+	for _, s := range byName["fabric.upload"] {
+		if !unitIDs[s.Parent] {
+			t.Fatalf("upload span %d not nested under a unit span (parent %d)", s.ID, s.Parent)
+		}
+	}
+}
+
+// TestCoordinatorMetricsExposition: the /metrics endpoint serves the
+// campaign gauges, the merge/lease families, and — via the included
+// process-global registry — the runtime and census families.
+func TestCoordinatorMetricsExposition(t *testing.T) {
+	camp := Campaign{N: 3, Orbits: true}
+	st, err := store.Create(t.TempDir(), camp.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c, srv, _ := coordOver(t, st, camp, CoordinatorOptions{UnitSize: 64})
+	if _, err := Work(WorkerOptions{
+		BaseURL: srv.URL, ID: "w0", Workers: 1, TempDir: t.TempDir(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-c.Done()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, series := range []string{
+		"factool_fabric_units_total",
+		"factool_fabric_units_done",
+		"factool_fabric_units_pending",
+		"factool_fabric_requeues_total",
+		"factool_fabric_store_entries",
+		"factool_fabric_merged_bytes_total",
+		`factool_fabric_leases_total{event="granted"}`,
+		"factool_fabric_merge_seconds_count",
+		"factool_fabric_requests_total",
+		"factool_fabric_inflight_requests",
+		// Included from the process-global registry.
+		"factool_census_indices_examined_total",
+		"go_goroutines",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing %q", series)
+		}
+	}
+	// The drained campaign's gauges reflect completion.
+	done := fmt.Sprintf("factool_fabric_units_done %d", c.Status().Units.Total)
+	if !strings.Contains(text, done) {
+		t.Errorf("exposition missing %q:\n%s", done, text)
+	}
+	if strings.Contains(text, "factool_fabric_merged_bytes_total 0\n") {
+		t.Error("merged bytes still zero after completed campaign")
+	}
+}
+
+// TestCoordinatorDrainNoGoroutineLeak: a full campaign lifecycle —
+// serve, drain by a worker, shut down — returns the process to its
+// baseline goroutine count. Guards against leaked per-lease timers or
+// merge goroutines surviving coordinator shutdown.
+func TestCoordinatorDrainNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	camp := Campaign{N: 3, Orbits: true}
+	st, err := store.Create(t.TempDir(), camp.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, srv, _ := coordOver(t, st, camp, CoordinatorOptions{UnitSize: 64})
+	if _, err := Work(WorkerOptions{
+		BaseURL: srv.URL, ID: "w0", Workers: 2, TempDir: t.TempDir(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-c.Done()
+	srv.Close()
+	st.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	// Goroutines wind down asynchronously; poll with a deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	slack := 3
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines: baseline %d, now %d after drain+shutdown\n%s",
+				baseline, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/census"
 	"repro/internal/chromatic"
+	"repro/internal/obs"
 )
 
 // WorkerOptions configure one worker process.
@@ -75,6 +76,59 @@ type WorkerOptions struct {
 	// aborts the worker with the lease still held — the crash-mid-lease
 	// hook behind `factool work -crash-after`.
 	AcquireHook func(k int, leaseID string, u Unit) error
+
+	// Registry, when non-nil, receives the worker's metric families
+	// (units by outcome, uploaded entries/bytes, renew heartbeats,
+	// backoff and outage state) — `factool work -debug-addr` passes
+	// its debug registry here. Nil skips registration; the families
+	// are still counted, just not exposed.
+	Registry *obs.Registry
+
+	// Tracer records the worker's spans (fabric.work → fabric.unit →
+	// census.sweep → fabric.upload). Nil selects obs.DefaultTracer.
+	Tracer *obs.Tracer
+}
+
+// workerMetrics is one Work call's metric set. Instantiated per call
+// (not package-global) so concurrent workers in one test process stay
+// independent; registration into a Registry is opt-in.
+type workerMetrics struct {
+	units       *obs.CounterVec // result: completed|lost|stopped
+	entries     *obs.Counter
+	uploadBytes *obs.Counter
+	renews      *obs.Counter
+	acquireFail *obs.Counter
+	backoffSec  *obs.Gauge
+	outage      *obs.Gauge
+}
+
+func newWorkerMetrics() *workerMetrics {
+	return &workerMetrics{
+		units: obs.NewCounterVec("factool_worker_units_total",
+			"Leased units by outcome.", "result"),
+		entries: obs.NewCounter("factool_worker_entries_total",
+			"Census entries uploaded across completed units."),
+		uploadBytes: obs.NewCounter("factool_worker_upload_bytes_total",
+			"Compressed shard bytes uploaded."),
+		renews: obs.NewCounter("factool_worker_renews_total",
+			"Successful lease renewal heartbeats."),
+		acquireFail: obs.NewCounter("factool_worker_acquire_failures_total",
+			"Acquire attempts that failed at the transport."),
+		backoffSec: obs.NewGauge("factool_worker_backoff_seconds",
+			"Current acquire retry backoff (0 while healthy)."),
+		outage: obs.NewGauge("factool_worker_outage",
+			"1 while the coordinator is unreachable."),
+	}
+}
+
+func (m *workerMetrics) register(reg *obs.Registry) {
+	reg.MustRegister("worker-units", m.units)
+	reg.MustRegister("worker-entries", m.entries)
+	reg.MustRegister("worker-upload-bytes", m.uploadBytes)
+	reg.MustRegister("worker-renews", m.renews)
+	reg.MustRegister("worker-acquire-failures", m.acquireFail)
+	reg.MustRegister("worker-backoff", m.backoffSec)
+	reg.MustRegister("worker-outage", m.outage)
 }
 
 // WorkerStats summarize one Work call.
@@ -106,7 +160,15 @@ func Work(opts WorkerOptions) (WorkerStats, error) {
 	if opts.MaxBackoff <= 0 {
 		opts.MaxBackoff = 15 * time.Second
 	}
-	w := &worker{opts: opts}
+	if opts.Tracer == nil {
+		opts.Tracer = obs.DefaultTracer
+	}
+	w := &worker{opts: opts, m: newWorkerMetrics()}
+	if opts.Registry != nil {
+		w.m.register(opts.Registry)
+	}
+	w.workSpan = opts.Tracer.Start("fabric.work", 0, "worker", opts.ID)
+	defer w.workSpan.End()
 	w.logf("worker %s: joining campaign at %s", opts.ID, opts.BaseURL)
 
 	backoff := time.Second
@@ -120,6 +182,9 @@ func Work(opts WorkerOptions) (WorkerStats, error) {
 		}
 		resp, err := w.acquire()
 		if err != nil {
+			w.m.acquireFail.Inc()
+			w.m.outage.Set(1)
+			w.m.backoffSec.Set(int64(backoff / time.Second))
 			if outageStart.IsZero() {
 				outageStart = time.Now()
 			}
@@ -135,6 +200,8 @@ func Work(opts WorkerOptions) (WorkerStats, error) {
 		}
 		backoff = time.Second
 		outageStart = time.Time{}
+		w.m.outage.Set(0)
+		w.m.backoffSec.Set(0)
 		switch resp.Status {
 		case "done":
 			w.logf("worker %s: campaign complete (%d units, %d entries this worker)",
@@ -164,6 +231,8 @@ func Work(opts WorkerOptions) (WorkerStats, error) {
 		entries, campaignDone, err := w.runUnit(l)
 		switch {
 		case err == nil:
+			w.m.units.With("completed").Add(1)
+			w.m.entries.Add(entries)
 			stats.Units++
 			stats.Entries += entries
 			if campaignDone {
@@ -178,8 +247,10 @@ func Work(opts WorkerOptions) (WorkerStats, error) {
 				return stats, nil
 			}
 		case errors.Is(err, errStopped):
+			w.m.units.With("stopped").Add(1)
 			return stats, nil
 		case errors.Is(err, errLeaseLost):
+			w.m.units.With("lost").Add(1)
 			// Expired under us, or the upload 404'd after a coordinator
 			// restart: the unit is someone else's now, just re-acquire.
 			w.logf("worker %s: lease %s lost; re-acquiring", opts.ID, l.ID)
@@ -191,8 +262,10 @@ func Work(opts WorkerOptions) (WorkerStats, error) {
 
 // worker carries the loop state shared by Work's helpers.
 type worker struct {
-	opts  WorkerOptions
-	cache *chromatic.TowerCache
+	opts     WorkerOptions
+	cache    *chromatic.TowerCache
+	m        *workerMetrics
+	workSpan *obs.ActiveSpan
 }
 
 func (w *worker) logf(format string, args ...any) {
@@ -280,6 +353,21 @@ func (w *worker) acquire() (*leaseResponse, error) {
 // reports that this very upload completed the campaign.
 func (w *worker) runUnit(l *leaseInfo) (entries uint64, campaignDone bool, err error) {
 	c := l.Campaign
+	unitSpan := w.opts.Tracer.Start("fabric.unit", w.workSpan.ID(),
+		"lease", l.ID, "unit", fmt.Sprint(l.Unit.ID))
+	defer func() {
+		switch {
+		case err == nil:
+			unitSpan.SetAttr("outcome", "completed")
+		case errors.Is(err, errLeaseLost):
+			unitSpan.SetAttr("outcome", "lost")
+		case errors.Is(err, errStopped):
+			unitSpan.SetAttr("outcome", "stopped")
+		default:
+			unitSpan.SetAttr("outcome", "error")
+		}
+		unitSpan.End()
+	}()
 	w.logf("worker %s: lease %s unit %d [%d,%d) %d ranks",
 		w.opts.ID, l.ID, l.Unit.ID, l.Unit.Lo, l.Unit.Hi, l.Unit.Ranks)
 	f, err := os.CreateTemp(w.opts.TempDir, "fabric-unit-*.jsonl.gz")
@@ -313,6 +401,9 @@ func (w *worker) runUnit(l *leaseInfo) (entries uint64, campaignDone bool, err e
 			case <-t.C:
 				var pe *protocolError
 				err := w.post("/v1/leases/"+l.ID+"/renew", nil, nil)
+				if err == nil {
+					w.m.renews.Inc()
+				}
 				if errors.As(err, &pe) && (pe.status == http.StatusNotFound || pe.status == http.StatusGone) {
 					close(lost)
 					return
@@ -342,15 +433,22 @@ func (w *worker) runUnit(l *leaseInfo) (entries uint64, campaignDone bool, err e
 		} else {
 			w.cache = chromatic.NewTowerCache()
 		}
+		if w.opts.Registry != nil {
+			// Ignore a duplicate registration: one Work per registry is
+			// the wiring, but a second call must degrade, not panic.
+			_ = w.opts.Registry.Register("tower-cache", w.cache)
+		}
 	}
 	sweep := census.Options{
-		Workers:   w.opts.Workers,
-		Orbits:    c.Orbits,
-		Solve:     c.Solve,
-		KTask:     c.KTask,
-		MaxRounds: c.MaxRounds,
-		Cache:     w.cache,
-		Stop:      unitStop,
+		Workers:     w.opts.Workers,
+		Orbits:      c.Orbits,
+		Solve:       c.Solve,
+		KTask:       c.KTask,
+		MaxRounds:   c.MaxRounds,
+		Cache:       w.cache,
+		Stop:        unitStop,
+		Tracer:      w.opts.Tracer,
+		TraceParent: unitSpan.ID(),
 	}
 	if c.Solve {
 		sweep.Universe = chromatic.SharedUniverse(c.N)
@@ -377,7 +475,7 @@ func (w *worker) runUnit(l *leaseInfo) (entries uint64, campaignDone bool, err e
 	if c.Orbits {
 		entries = rep.Summary.Orbits
 	}
-	campaignDone, err = w.upload(l, path)
+	campaignDone, err = w.upload(l, path, unitSpan.ID())
 	if err != nil {
 		return 0, false, err
 	}
@@ -389,7 +487,12 @@ func (w *worker) runUnit(l *leaseInfo) (entries uint64, campaignDone bool, err e
 // waiting for. A 404 means the restart forgot the lease (errLeaseLost:
 // re-acquire and re-sweep); other protocol errors are fatal. done
 // reports that this upload completed the campaign's last open unit.
-func (w *worker) upload(l *leaseInfo, path string) (done bool, err error) {
+func (w *worker) upload(l *leaseInfo, path string, parent obs.SpanID) (done bool, err error) {
+	uploadSpan := w.opts.Tracer.Start("fabric.upload", parent, "unit", fmt.Sprint(l.Unit.ID))
+	defer uploadSpan.End()
+	if fi, err := os.Stat(path); err == nil {
+		uploadSpan.SetAttr("bytes", fmt.Sprint(fi.Size()))
+	}
 	backoff := time.Second
 	var outageStart time.Time
 	for {
@@ -407,6 +510,9 @@ func (w *worker) upload(l *leaseInfo, path string) (done bool, err error) {
 		err = w.do(req, &resp)
 		f.Close()
 		if err == nil {
+			if fi, serr := os.Stat(path); serr == nil {
+				w.m.uploadBytes.Add(uint64(fi.Size()))
+			}
 			w.logf("worker %s: unit %d uploaded (added %d, duplicates %d) [%d/%d]",
 				w.opts.ID, l.Unit.ID, resp.Added, resp.Duplicates, resp.UnitsDone, resp.UnitsTotal)
 			return resp.UnitsDone == resp.UnitsTotal, nil

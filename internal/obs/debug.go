@@ -1,0 +1,68 @@
+package obs
+
+// The -debug-addr surface: one mux carrying /metrics, the span dump,
+// pprof and expvar, shared verbatim by every factool long-runner
+// (serve, coordinate, work, census).
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux builds the debug surface over a registry and tracer:
+//
+//	/healthz        liveness (always 200 while the process serves)
+//	/metrics        Prometheus text exposition of reg
+//	/debug/trace    JSONL dump of the tracer's finished-span ring
+//	/debug/pprof/*  net/http/pprof profiles
+//	/debug/vars     expvar
+//
+// A nil reg defaults to Default; a nil tr defaults to DefaultTracer.
+func DebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	if reg == nil {
+		reg = Default
+	}
+	if tr == nil {
+		tr = DefaultTracer
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%d}\n", int64(time.Since(processStart)/time.Second))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// StartDebug listens on addr and serves DebugMux(reg, tr) in the
+// background. It returns the bound address (useful with ":0") and a
+// stop function that closes the listener. The debug surface is
+// deliberately unauthenticated — bind it to loopback or a private
+// interface.
+func StartDebug(addr string, reg *Registry, tr *Tracer) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(reg, tr)}
+	go srv.Serve(ln)
+	stop := func() { srv.Close() }
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,160 @@
+// Package obs is the dependency-free telemetry plane shared by every
+// long-running process in the system: the census engine, the fabric
+// coordinator and workers, the solver/tower-cache stack and the serve
+// layer all feed the same three surfaces.
+//
+//   - Metrics: hand-rolled Prometheus text exposition (counters,
+//     labeled counter families, fixed-bucket histograms, gauges)
+//     collected through a named Registry. Package-global families
+//     register into Default at init; per-instance surfaces (a
+//     coordinator, a worker) build their own Registry and Include
+//     Default so several instances can coexist in one process.
+//   - Tracing: a lightweight span recorder (start/end, parent links,
+//     string attrs) with a bounded ring of finished spans and optional
+//     JSONL export, cheap enough to leave on for every campaign.
+//   - Debug surface: DebugMux wires /metrics, /debug/trace,
+//     net/http/pprof and expvar behind one -debug-addr listener.
+//
+// Everything here is stdlib-only by design — the telemetry plane must
+// never be the reason a build grows a dependency.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collector is anything that can emit itself in Prometheus text
+// exposition format. All metric primitives in this package implement
+// it, as does Registry itself (so registries nest via Include).
+type Collector interface {
+	WritePrometheus(w io.Writer)
+}
+
+// CollectorFunc adapts a function to the Collector interface. Use it
+// for scrape-time gauge blocks that derive several samples from one
+// snapshot of live state.
+type CollectorFunc func(w io.Writer)
+
+// WritePrometheus calls f.
+func (f CollectorFunc) WritePrometheus(w io.Writer) { f(w) }
+
+// Registry is an ordered, named set of collectors. Registration order
+// is exposition order, and names make registration idempotent to
+// detect: registering a duplicate name panics, which turns silent
+// double-exports into loud test failures.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]Collector
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Collector)}
+}
+
+// Register adds a named collector. Duplicate names error.
+func (r *Registry) Register(name string, c Collector) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return fmt.Errorf("obs: collector %q already registered", name)
+	}
+	r.byName[name] = c
+	r.order = append(r.order, name)
+	return nil
+}
+
+// MustRegister is Register that panics on duplicate names. Use it for
+// static wiring where a duplicate is a programming error.
+func (r *Registry) MustRegister(name string, c Collector) {
+	if err := r.Register(name, c); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister removes a named collector (no-op when absent).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return
+	}
+	delete(r.byName, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Include chains another registry into this one under its own slot:
+// the included registry's collectors are written after this registry's
+// own. Per-instance registries Include Default so process-global
+// families appear on every instance's scrape without being registered
+// (and thus name-collided) per instance.
+func (r *Registry) Include(other *Registry) {
+	r.MustRegister(fmt.Sprintf("include-%p", other), other)
+}
+
+// Names returns the registered collector names in exposition order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// WritePrometheus writes every collector in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	cs := make([]Collector, 0, len(r.order))
+	for _, n := range r.order {
+		cs = append(cs, r.byName[n])
+	}
+	r.mu.Unlock()
+	for _, c := range cs {
+		c.WritePrometheus(w)
+	}
+}
+
+// Default is the process-global registry. Package-level metric
+// families (census, solver, worker sweep counters) register here at
+// init; per-instance registries Include it.
+var Default = NewRegistry()
+
+var processStart = time.Now()
+
+func init() {
+	Default.MustRegister("go-runtime", CollectorFunc(writeRuntime))
+}
+
+// writeRuntime emits the process-health gauges every debug surface
+// wants regardless of workload: goroutine count, heap, GC cycles and
+// uptime.
+func writeRuntime(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	WriteGauge(w, "go_goroutines", "Current number of goroutines.", int64(runtime.NumGoroutine()))
+	WriteGauge(w, "go_heap_alloc_bytes", "Bytes of allocated heap objects.", int64(ms.HeapAlloc))
+	WriteGauge(w, "go_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
+	WriteGauge(w, "process_uptime_seconds", "Seconds since process start.", int64(time.Since(processStart)/time.Second))
+}
+
+// sortedKeys returns the map's keys in sorted order (exposition wants
+// deterministic row order).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,14 @@
+package solver
+
+// Process-global solver decision counters, registered into obs.Default
+// so every telemetry surface that includes the default registry exposes
+// them — the live view of how a solve-mode campaign's decisions split.
+
+import "repro/internal/obs"
+
+var solverDecisions = obs.NewCounterVec("factool_solver_decisions_total",
+	"Solvability decisions by outcome.", "outcome")
+
+func init() {
+	obs.Default.MustRegister("solver-decisions", solverDecisions)
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/affine"
 	"repro/internal/chromatic"
+	"repro/internal/obs"
 	"repro/internal/sc"
 	"repro/internal/tasks"
 )
@@ -61,6 +62,11 @@ type Options struct {
 	// counts. Decisions within the budget are identical regardless.
 	// <= 0 selects the package default.
 	NodeLimit int
+
+	// TraceParent, when nonzero, is the span id this decision's tower
+	// extensions record under (the census solve path passes its
+	// census.solve span so tower-extend spans nest inside it).
+	TraceParent obs.SpanID
 }
 
 // ErrBadInput reports an invalid configuration.
@@ -138,7 +144,7 @@ func SolveTables(task *tasks.Task, tables chromatic.MemberTables, maxRounds int,
 	res := &Result{}
 	for round := 1; round <= maxRounds; round++ {
 		if cached != nil {
-			if err := cached.EnsureHeightTables(tables, round); err != nil {
+			if err := cached.EnsureHeightTablesTraced(tables, round, opts.TraceParent); err != nil {
 				return nil, err
 			}
 		} else if err := tower.ExtendTables(tables); err != nil {
@@ -147,15 +153,20 @@ func SolveTables(task *tasks.Task, tables chromatic.MemberTables, maxRounds int,
 		res.ComplexSizes = append(res.ComplexSizes, tower.LevelComplex(round).NumVertices())
 		m, ok, err := searchMap(tower, round, task, workers, limit)
 		if err != nil {
+			if errors.Is(err, ErrSearchLimit) {
+				solverDecisions.With("undecided").Add(1)
+			}
 			return nil, err
 		}
 		if ok {
 			res.Solvable = true
 			res.Rounds = round
 			res.Map = m
+			solverDecisions.With("solvable").Add(1)
 			return res, nil
 		}
 	}
+	solverDecisions.With("unsolvable").Add(1)
 	return res, nil
 }
 

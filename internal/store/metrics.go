@@ -64,18 +64,8 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 		fmt.Fprintf(w, "factool_presence_skips_total{n=%q} %d\n", fmt.Sprint(mt.N()), mt.Store().PresenceSkips())
 	}
 
-	cs := s.tcache.Snapshot()
-	for _, g := range []struct {
-		name, help string
-		val        int64
-	}{
-		{"factool_tower_cache_towers", "Towers resident in the shared subdivision cache.", int64(cs.Towers)},
-		{"factool_tower_cache_bytes", "Approximate resident bytes of the shared subdivision cache.", cs.Bytes},
-		{"factool_tower_cache_max_bytes", "Byte budget of the shared subdivision cache (0 = unbounded).", cs.MaxBytes},
-		{"factool_tower_cache_hits", "Subdivision cache hits.", cs.Hits},
-		{"factool_tower_cache_misses", "Subdivision cache misses.", cs.Misses},
-		{"factool_tower_cache_evictions", "Subdivision cache evictions.", cs.Evictions},
-	} {
-		api.WriteGauge(w, g.name, g.help, g.val)
-	}
+	// The cheap exposition path: counters and size gauges without
+	// Snapshot's per-tower level walk, so scrapes stay O(1) however
+	// large the cache grows.
+	s.tcache.WritePrometheus(w)
 }
