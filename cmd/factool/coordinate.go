@@ -24,8 +24,9 @@ func cmdCoordinate(args []string) error {
 	n := fs.Int("n", 3, "number of processes")
 	storeDir := fs.String("store", "", "ledger store directory (created when missing)")
 	orbits := fs.Bool("orbits", true, "sweep canonical orbit representatives only")
-	solve := fs.Bool("solve", false, "campaign also decides k-set consensus per fair adversary")
-	ktask := fs.Int("ktask", 1, "k of the k-set consensus task for -solve")
+	solve := fs.Bool("solve", false, "campaign also decides the configured task per fair adversary")
+	task := fs.String("task", "", "registered task spec the campaign decides (e.g. kset:k=2, loop-agreement); implies -solve")
+	ktask := fs.Int("ktask", 1, "k of the k-set consensus task for -solve (deprecated compat for -task kset:k=K)")
 	rounds := fs.Int("rounds", 1, "maximum iterations of R_A for -solve")
 	unitSize := fs.Uint64("unit-size", 0, "ranks per unit (orbit mode) or raw indices per unit (0 = default)")
 	addr := fs.String("addr", "127.0.0.1:8081", "listen address")
@@ -42,13 +43,19 @@ func cmdCoordinate(args []string) error {
 	if *storeDir == "" {
 		return usagef(fs, "coordinate: -store is required")
 	}
+	if *task != "" {
+		if _, err := fact.ParseTaskSpec(*task); err != nil {
+			return usagef(fs, "coordinate: %v", err)
+		}
+		*solve = true
+	}
 	st, err := fact.OpenOrCreateCensusStore(*storeDir, *n)
 	if err != nil {
 		return err
 	}
 	defer st.Close()
 
-	camp := fact.FabricCampaign{N: *n, Orbits: *orbits, Solve: *solve, KTask: *ktask, MaxRounds: *rounds}
+	camp := fact.FabricCampaign{N: *n, Orbits: *orbits, Solve: *solve, Task: *task, KTask: *ktask, MaxRounds: *rounds}
 	opts := fact.FabricCoordinatorOptions{
 		UnitSize: *unitSize,
 		TTL:      *ttl,

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -58,7 +59,8 @@ func cmdLoadtest(args []string) error {
 	batch := fs.Int("batch", 16, "indices per batch classify request")
 	solveFrac := fs.Float64("solve-frac", 0.05, "fraction of requests that are live /v1/solve calls")
 	batchFrac := fs.Float64("batch-frac", 0.25, "fraction of requests that are batch classifies")
-	ktask := fs.Int("ktask", 1, "k for the /v1/solve k-set consensus queries")
+	ktask := fs.Int("ktask", 1, "k for the /v1/solve k-set consensus queries (deprecated: use -task kset:k=K)")
+	task := fs.String("task", "", "task spec for the /v1/solve queries (e.g. loop-agreement, approx:eps=1); overrides -ktask")
 	seed := fs.Int64("seed", 1, "RNG seed (per-worker streams derive from it; runs are reproducible)")
 	apikey := fs.String("apikey", "", "API key sent as a Bearer token (when the server has -apikeys)")
 	sloP99 := fs.Duration("slo-p99", 0, "p99 latency budget; breach fails the run (0 = no latency SLO)")
@@ -77,6 +79,11 @@ func cmdLoadtest(args []string) error {
 	}
 	if *solveFrac < 0 || *batchFrac < 0 || *solveFrac+*batchFrac > 1 {
 		return usagef(fs, "loadtest: -solve-frac and -batch-frac must be non-negative and sum to at most 1")
+	}
+	if *task != "" {
+		if _, err := fact.ParseTaskSpec(*task); err != nil {
+			return usagef(fs, "loadtest: %v", err)
+		}
 	}
 	base := strings.TrimRight(*baseURL, "/")
 	domain := fact.CensusSize(*n)
@@ -144,8 +151,7 @@ func cmdLoadtest(args []string) error {
 				switch p := rng.Float64(); {
 				case p < *solveFrac:
 					idx := uint64(rng.Int63n(int64(domain)))
-					status, err = ltGet(client, authorize,
-						fmt.Sprintf("%s/v1/solve?n=%d&index=%d&k=%d", base, *n, idx, *ktask))
+					status, err = ltGet(client, authorize, base+solveQuery(*n, idx, *task, *ktask))
 				case p < *solveFrac+*batchFrac:
 					idxs := make([]uint64, *batch)
 					for i := range idxs {
@@ -204,6 +210,15 @@ func cmdLoadtest(args []string) error {
 		return fmt.Errorf("loadtest: no requests completed")
 	}
 	return nil
+}
+
+// solveQuery renders the /v1/solve query string: the task spec when
+// one was given, the kset compat parameter otherwise.
+func solveQuery(n int, idx uint64, task string, ktask int) string {
+	if task != "" {
+		return fmt.Sprintf("/v1/solve?n=%d&index=%d&task=%s", n, idx, url.QueryEscape(task))
+	}
+	return fmt.Sprintf("/v1/solve?n=%d&index=%d&ktask=%d", n, idx, ktask)
 }
 
 // ltGet issues one GET, draining the body so the connection is reused.

@@ -122,20 +122,23 @@ subcommands:
   adversary  -n N -kind K [flags]           adversary, α, classification
   affine     -n N -kind K [flags]           affine task R_A stats
   classify   -n N                           adversary census (Figure 2)
-  census     -n N [-workers W] [-json] [-solve -ktask K -rounds L -verify]
-             [-stats] [-progress] [-orbits] [-out F.jsonl] [-compress]
-             [-checkpoint F -resume] [-checkpoint-every I]
+  census     -n N [-workers W] [-json] [-solve -task S -rounds L -verify]
+             [-family F] [-stats] [-progress] [-orbits] [-out F.jsonl]
+             [-compress] [-checkpoint F -resume] [-checkpoint-every I]
              [-maxindices I] [-budget D] [-cachemb M]
                                             parallel adversary census
                                             (streaming, checkpointable,
-                                            canonical-orbit enumeration)
+                                            canonical-orbit enumeration;
+                                            -task picks any registered
+                                            task, -family a named
+                                            adversary family)
   merge      -n N -store DIR SHARD...       merge census JSONL shards
                                             into an indexed store
   serve      -store DIR... [-stores GLOB] [-addr A] [-apikeys F]
              [-log-json] [-metrics] [flags] serve the v1 HTTP API over
                                             every mounted store (one
                                             process, any number of n)
-  coordinate -n N -store DIR [-orbits] [-solve -ktask K -rounds L]
+  coordinate -n N -store DIR [-orbits] [-solve -task S -rounds L]
              [-unit-size U] [-addr A] [-ttl D] [-apikeys F]
              [-exit-on-complete]             distributed-campaign
                                             coordinator: lease rank-range
@@ -178,8 +181,8 @@ var synopses = map[string]string{
 	"adversary": "-n N -kind waitfree|tres|kof|fig5b [-t T] [-k K]",
 	"affine":    "-n N -kind waitfree|tres|kof|fig5b [-t T] [-k K]",
 	"classify":  "-n N",
-	"census": "-n N [-workers W] [-json] [-solve -ktask K -rounds L -verify] [-stats]\n" +
-		"                      [-progress] [-orbits] [-out F.jsonl] [-compress]\n" +
+	"census": "-n N [-workers W] [-json] [-solve -task S -rounds L -verify] [-stats]\n" +
+		"                      [-family F] [-progress] [-orbits] [-out F.jsonl] [-compress]\n" +
 		"                      [-checkpoint F -resume] [-checkpoint-every I]\n" +
 		"                      [-maxindices I] [-budget D] [-cachemb M]\n" +
 		"                      [-debug-addr HOST:PORT] [-trace FILE]",
@@ -189,16 +192,16 @@ var synopses = map[string]string{
 		"                      [-cache-entries E] [-cachemb M] [-rounds L] [-readonly]\n" +
 		"                      [-no-presence] [-drain-timeout D]\n" +
 		"                      [-debug-addr HOST:PORT] [-trace FILE]",
-	"coordinate": "-n N -store DIR [-orbits] [-solve -ktask K -rounds L] [-unit-size U]\n" +
+	"coordinate": "-n N -store DIR [-orbits] [-solve -task S -rounds L] [-unit-size U]\n" +
 		"                      [-addr HOST:PORT] [-ttl D] [-spool DIR] [-apikeys FILE]\n" +
 		"                      [-log-json] [-exit-on-complete] [-drain-timeout D]\n" +
 		"                      [-debug-addr HOST:PORT] [-trace FILE]",
-	"work": "-url URL [-id W] [-workers W] [-ttl SEC] [-cachemb M] [-tmp DIR]\n" +
+	"work": "-url URL [-id W] [-task S] [-workers W] [-ttl SEC] [-cachemb M] [-tmp DIR]\n" +
 		"                      [-max-units K] [-apikey KEY] [-max-outage D] [-crash-after K]\n" +
 		"                      [-debug-addr HOST:PORT] [-trace FILE]",
 	"store verify": "-store DIR [-spot K] [-json]",
 	"loadtest": "-url URL -n N [-duration D] [-concurrency C] [-batch B]\n" +
-		"                      [-solve-frac F] [-batch-frac F] [-ktask K] [-seed S]\n" +
+		"                      [-solve-frac F] [-batch-frac F] [-task S] [-ktask K] [-seed S]\n" +
 		"                      [-apikey KEY] [-slo-p99 D] [-json]",
 	"tracecat": "[-json] [-top K] TRACE.jsonl... (stdin when no files)",
 	"figures":  "-dir DIR",
@@ -358,8 +361,10 @@ func cmdCensus(args []string) error {
 	n := fs.Int("n", 3, "number of processes")
 	workers := fs.Int("workers", 0, "census workers (0 = all CPUs, 1 = serial)")
 	jsonOut := fs.Bool("json", false, "emit the full deterministic report as JSON on stdout")
-	solve := fs.Bool("solve", false, "also decide k-set consensus per fair adversary")
-	kTask := fs.Int("ktask", 1, "k for -solve")
+	solve := fs.Bool("solve", false, "also decide the configured task per fair adversary")
+	task := fs.String("task", "", "registered task spec to decide (kset:k=K | consensus | loop-agreement | approx:eps=E | simplex-agreement | identity); implies -solve")
+	kTask := fs.Int("ktask", 1, "k for -solve (deprecated compat for -task kset:k=K)")
+	family := fs.String("family", "", "restrict the sweep to a named adversary family: t-resilient[:t=T] | symmetric | k-obstruction-free[:k=K]")
 	rounds := fs.Int("rounds", 1, "maximum iterations of R_A for -solve")
 	verify := fs.Bool("verify", false, "independently re-verify every witness map (-solve)")
 	stats := fs.Bool("stats", false, "print tower-cache statistics to stderr (requires -solve)")
@@ -383,10 +388,18 @@ func cmdCensus(args []string) error {
 	if *compress && *out == "" {
 		return usagef(fs, "census: -compress requires -out")
 	}
+	if *task != "" {
+		if _, err := fact.ParseTaskSpec(*task); err != nil {
+			return usagef(fs, "census: %v", err)
+		}
+		*solve = true
+	}
 	opts := fact.CensusOptions{
 		Workers:         *workers,
 		Solve:           *solve,
+		Task:            *task,
 		KTask:           *kTask,
+		Family:          *family,
 		MaxRounds:       *rounds,
 		VerifyWitnesses: *verify,
 		Orbits:          *orbits,
@@ -776,7 +789,11 @@ func printCensusSummary(rep *fact.CensusReport) {
 			s.Orbits, float64(s.Total)/float64(s.Orbits))
 	}
 	if s.Solved > 0 {
-		fmt.Printf("  solve mode (k=%d):\n", s.KTask)
+		if s.Task != "" {
+			fmt.Printf("  solve mode (task %s):\n", s.Task)
+		} else {
+			fmt.Printf("  solve mode (k=%d):\n", s.KTask)
+		}
 		fmt.Printf("    solved:    %d\n", s.Solved)
 		fmt.Printf("    solvable:  %d\n", s.Solvable)
 		fmt.Printf("    undecided: %d\n", s.Undecided)

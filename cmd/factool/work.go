@@ -18,6 +18,7 @@ func cmdWork(args []string) error {
 	fs := newFlagSet("work")
 	url := fs.String("url", "http://127.0.0.1:8081", "coordinator base URL")
 	id := fs.String("id", "", "worker id (default: hostname-pid)")
+	task := fs.String("task", "", "task spec this worker expects the campaign to decide; a campaign sweeping a different task rejects the worker")
 	workers := fs.Int("workers", 0, "sweep worker-pool size per unit (0 = one per CPU)")
 	ttlSec := fs.Int("ttl", 0, "requested lease TTL in seconds (0 = coordinator default)")
 	cacheMB := fs.Int64("cachemb", 0, "tower-cache byte budget in MiB for solve campaigns (0 = unbounded)")
@@ -37,9 +38,15 @@ func cmdWork(args []string) error {
 		}
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	if *task != "" {
+		if _, err := fact.ParseTaskSpec(*task); err != nil {
+			return usagef(fs, "work: %v", err)
+		}
+	}
 	opts := fact.FabricWorkerOptions{
 		BaseURL:    *url,
 		ID:         *id,
+		TaskSpec:   *task,
 		APIKey:     *apikey,
 		Workers:    *workers,
 		CacheBytes: *cacheMB << 20,

@@ -284,10 +284,29 @@ var (
 	FullChr2Tables = chromatic.FullChr2Tables
 )
 
-// Task constructors, re-exported.
+// Task constructors and the task-spec registry, re-exported.
 var (
 	// KSetConsensus is the k-set consensus task with distinct inputs.
 	KSetConsensus = tasks.KSetConsensus
 	// Consensus is 1-set consensus.
 	Consensus = tasks.Consensus
+	// LoopAgreement is 3-process loop agreement over a hexagonal loop.
+	LoopAgreement = tasks.LoopAgreement
+	// ApproxAgreement is ε-approximate agreement over integer values.
+	ApproxAgreement = tasks.ApproxAgreement
+	// ParseTaskSpec parses a registered task spec string such as
+	// "kset:k=2", "loop-agreement" or "approx:eps=1".
+	ParseTaskSpec = tasks.ParseSpec
+	// KSetTaskSpec builds the spec of k-set consensus.
+	KSetTaskSpec = tasks.KSetSpec
+	// RegisteredTaskKinds lists the registered task kinds, sorted.
+	RegisteredTaskKinds = tasks.RegisteredKinds
+	// CensusFamilyKinds lists the adversary-family filter kinds a
+	// census sweep accepts.
+	CensusFamilyKinds = census.FamilyKinds
 )
+
+// TaskSpec is a registered, serializable task identity (kind plus
+// integer parameters) the census, store, serve and fabric layers sweep
+// and route by.
+type TaskSpec = tasks.Spec

@@ -75,14 +75,32 @@ type Options struct {
 	// selects a default scaled to the domain.
 	ShardSize int
 
-	// Solve additionally decides KTask-set consensus for every fair
-	// adversary with setcon ≥ 1, building R_A over the run's shared
-	// Universe and solving through the shared TowerCache.
+	// Solve additionally decides the configured task (Task, or
+	// KTask-set consensus) for every fair adversary with setcon ≥ 1,
+	// building R_A over the run's shared Universe and solving through
+	// the shared TowerCache.
 	Solve bool
 
+	// Task is the spec of the task to decide — a registered tasks.Spec
+	// string such as "kset:k=2", "loop-agreement" or "approx:eps=1".
+	// Non-empty implies Solve; empty selects the KTask compat path
+	// below. Non-kset specs stamp every emitted entry with the spec
+	// string.
+	Task string
+
 	// KTask is the k of the k-set consensus task decided when Solve is
-	// set. <= 0 selects 1 (consensus).
+	// set and Task is empty — the pre-spec compat surface, equivalent
+	// to Task "kset:k=<KTask>". <= 0 selects 1 (consensus).
 	KTask int
+
+	// Family, when non-empty, restricts the sweep to a named adversary
+	// family ("t-resilient[:t=T]", "symmetric",
+	// "k-obstruction-free[:k=K]"): frontiers and checkpoints keep their
+	// whole-domain meaning, but only family members are examined,
+	// emitted and aggregated — the summary totals equal the family
+	// size. Family members are fixed by every color permutation, so
+	// orbit mode emits each exactly once (orbit size 1).
+	Family string
 
 	// MaxRounds bounds the solvability search (iterations of R_A).
 	// <= 0 selects 1.
@@ -204,6 +222,11 @@ type Entry struct {
 	Rounds    int   `json:"rounds,omitempty"`
 	RAFacets  int   `json:"ra_facets,omitempty"`
 	Undecided bool  `json:"undecided,omitempty"`
+
+	// Task is the canonical spec of the task a solve-mode sweep
+	// decided. Empty on the k-set consensus compat path, whose JSONL
+	// predates task specs and stays byte-identical.
+	Task string `json:"task,omitempty"`
 }
 
 // Summary aggregates a census in enumeration order. In orbit mode every
@@ -222,8 +245,10 @@ type Summary struct {
 	// Orbits counts canonical representatives emitted (orbit mode).
 	Orbits uint64 `json:"orbits,omitempty"`
 
-	// Solve-mode aggregates.
+	// Solve-mode aggregates. KTask reports the kset compat path; Task
+	// is the canonical spec of every other decided task.
 	KTask     int    `json:"k_task,omitempty"`
+	Task      string `json:"task,omitempty"`
 	Solved    uint64 `json:"solved,omitempty"`
 	Solvable  uint64 `json:"solvable,omitempty"`
 	Undecided uint64 `json:"undecided,omitempty"`
@@ -287,7 +312,15 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		return nil, errors.New("census: Resume requires a Checkpoint path")
 	}
 	total := adversary.CensusSize(n)
-	fp := fingerprint(n, &opts)
+	env, err := newRunEnv(n, &opts)
+	if err != nil {
+		return nil, err
+	}
+	family, err := resolveFamily(opts.Family, n)
+	if err != nil {
+		return nil, err
+	}
+	fp := fingerprint(n, &opts, env.spec, family)
 	kind := sinkKind(sink)
 
 	// Resume state: the contiguous completed frontier and the running
@@ -352,7 +385,6 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		checkpointEvery = 1 << 16
 	}
 
-	env := newRunEnv(n, &opts)
 	if opts.Orbits {
 		env.orbits = adversary.NewOrbits(n)
 	}
@@ -392,6 +424,7 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		lastCheckpoint:  start,
 		fingerprint:     fp,
 		sinkKind:        kind,
+		taskLabel:       env.taskLabel,
 		progress:        opts.Progress,
 	}
 	em.cond = sync.NewCond(&em.mu)
@@ -490,6 +523,13 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 							short = true
 							break
 						}
+						// Family filter: non-members still advance the
+						// frontier (checkpoints stay whole-domain) but are
+						// never examined or emitted.
+						if family != nil && !family.member(r.idx) {
+							covered = r.idx + 1
+							continue
+						}
 						if opts.examineHook != nil {
 							opts.examineHook(r.idx)
 						}
@@ -516,6 +556,11 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 						// Same mid-shard stop as the orbit path above.
 						if stop.Load() {
 							break
+						}
+						// Same family filter as the orbit path above.
+						if family != nil && !family.member(idx) {
+							covered = idx + 1
+							continue
 						}
 						if opts.examineHook != nil {
 							opts.examineHook(idx)
@@ -565,7 +610,11 @@ func Stream(n int, opts Options, sink Sink) (*Report, error) {
 		rep.NextIndex = em.frontierIdx
 	}
 	if opts.Solve {
-		rep.Summary.KTask = env.kTask
+		if env.spec.IsKSet() {
+			rep.Summary.KTask = env.kTask
+		} else {
+			rep.Summary.Task = env.taskField
+		}
 		st := env.cache.Snapshot()
 		rep.Cache = &st
 	}
@@ -596,6 +645,7 @@ type emitter struct {
 	lastCheckpoint  uint64
 	fingerprint     string
 	sinkKind        string
+	taskLabel       string
 
 	// cutoff marks that a stop-truncated shard reached the frontier:
 	// the emitted prefix ends inside that shard's index range, so no
@@ -821,7 +871,7 @@ func (em *emitter) deliver(s uint64, entries []Entry, hi uint64, short bool) boo
 				return false
 			}
 			em.emitted++
-			censusEntriesEmitted.Inc()
+			censusEntriesEmitted.With(em.taskLabel).Add(1)
 			em.aggregate(e)
 		}
 		em.nextShard++

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/tasks"
 )
 
 // checkpointVersion guards the sidecar schema.
@@ -63,17 +65,26 @@ var ErrCheckpointMismatch = errors.New("census: checkpoint does not match run pa
 // fingerprint captures every option that shapes the output stream.
 // Worker count and shard size are deliberately excluded: they change
 // scheduling, never bytes, and a resumed run may use different ones.
-func fingerprint(n int, opts *Options) string {
-	kTask := opts.KTask
-	if kTask <= 0 {
-		kTask = 1
-	}
+// The task identity segment is `k=<k>` on the kset compat path — the
+// exact pre-spec form, so old sidecars resume — and `task=<spec>` for
+// every other spec, so a sweep can never silently resume a sidecar
+// written for a different task. A family filter appends its own
+// segment the same way.
+func fingerprint(n int, opts *Options, spec tasks.Spec, family *familyFilter) string {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 1
 	}
-	return fmt.Sprintf("census:v%d:n=%d:orbits=%t:solve=%t:k=%d:rounds=%d:verify=%t",
-		checkpointVersion, n, opts.Orbits, opts.Solve, kTask, maxRounds, opts.VerifyWitnesses)
+	taskSeg := fmt.Sprintf("task=%s", spec)
+	if spec.IsKSet() {
+		taskSeg = fmt.Sprintf("k=%d", spec.Param("k"))
+	}
+	fp := fmt.Sprintf("census:v%d:n=%d:orbits=%t:solve=%t:%s:rounds=%d:verify=%t",
+		checkpointVersion, n, opts.Orbits, opts.Solve, taskSeg, maxRounds, opts.VerifyWitnesses)
+	if family != nil {
+		fp += ":family=" + family.canonical
+	}
+	return fp
 }
 
 // LoadCheckpoint reads a checkpoint sidecar. A missing file returns

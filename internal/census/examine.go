@@ -28,6 +28,9 @@ type runEnv struct {
 	cache     *chromatic.TowerCache
 	orbits    *adversary.Orbits
 	solve     bool
+	spec      tasks.Spec
+	taskField string // Entry.Task value: the spec string, "" on the kset compat path
+	taskLabel string // metric label: the spec string when solving, "classify" otherwise
 	kTask     int
 	maxRounds int
 	verify    bool
@@ -35,14 +38,45 @@ type runEnv struct {
 }
 
 // newRunEnv normalizes the examination-shaping options into the shared
-// environment: defaulted k/rounds, a Universe (the run-private default,
+// environment: the resolved task spec (Options.Task, or the KTask
+// compat path), defaulted rounds, a Universe (the run-private default,
 // or opts.Universe to share e.g. chromatic.SharedUniverse across
 // engines), and a TowerCache (opts.Cache, or a private one budgeted by
 // CacheBytes).
-func newRunEnv(n int, opts *Options) *runEnv {
+func newRunEnv(n int, opts *Options) (*runEnv, error) {
 	kTask := opts.KTask
 	if kTask <= 0 {
 		kTask = 1
+	}
+	spec := tasks.KSetSpec(kTask)
+	if opts.Task != "" {
+		var err error
+		spec, err = tasks.ParseSpec(opts.Task)
+		if err != nil {
+			return nil, fmt.Errorf("census: %w", err)
+		}
+		if spec.IsKSet() {
+			kTask = spec.Param("k")
+		}
+		// Naming a task is asking for its decision: Task implies Solve,
+		// like the factool -task flag. Mutated through the pointer so
+		// the callers' later opts.Solve reads agree.
+		opts.Solve = true
+	}
+	// Probe the registry once so a spec the builder rejects fails the
+	// run up front, not per examined index.
+	if opts.Solve {
+		if _, err := spec.Build(n); err != nil {
+			return nil, fmt.Errorf("census: %w", err)
+		}
+	}
+	taskField := ""
+	if !spec.IsKSet() {
+		taskField = spec.String()
+	}
+	taskLabel := classifyTaskLabel
+	if opts.Solve {
+		taskLabel = spec.String()
 	}
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
@@ -70,11 +104,14 @@ func newRunEnv(n int, opts *Options) *runEnv {
 		universe:  universe,
 		cache:     cache,
 		solve:     opts.Solve,
+		spec:      spec,
+		taskField: taskField,
+		taskLabel: taskLabel,
 		kTask:     kTask,
 		maxRounds: maxRounds,
 		verify:    opts.VerifyWitnesses,
 		tracer:    tracer,
-	}
+	}, nil
 }
 
 // examine classifies (and optionally solves) the adversary at one
@@ -83,7 +120,7 @@ func newRunEnv(n int, opts *Options) *runEnv {
 // concurrency-safe Universe and TowerCache, so concurrent calls are
 // safe.
 func (env *runEnv) examine(idx uint64, parent obs.SpanID) (Entry, error) {
-	censusIndicesExamined.Inc()
+	censusIndicesExamined.With(env.taskLabel).Add(1)
 	a := adversary.AdversaryAtIn(env.n, env.all, idx)
 	live := a.LiveSets()
 	masks := make([]uint32, len(live))
@@ -100,6 +137,13 @@ func (env *runEnv) examine(idx uint64, parent obs.SpanID) (Entry, error) {
 		Setcon:         a.Setcon(),
 		CSize:          a.CSize(),
 	}
+	// Non-kset sweeps stamp every entry with the spec, so stores built
+	// from them know which task their solve verdicts answer. The kset
+	// path leaves the field empty: its JSONL predates task specs and
+	// must stay byte-identical.
+	if env.solve {
+		e.Task = env.taskField
+	}
 	if !env.solve || !e.Fair || e.Setcon < 1 {
 		return e, nil
 	}
@@ -113,10 +157,16 @@ func (env *runEnv) examine(idx uint64, parent obs.SpanID) (Entry, error) {
 		return e, fmt.Errorf("census: R_A for %v: %w", a, err)
 	}
 	e.RAFacets = ra.NumFacets()
-	task := tasks.KSetConsensus(env.n, env.kTask)
+	// The task is built per call, never shared: its complexes would
+	// otherwise be read by concurrent solve jobs of different workers.
+	task, err := env.spec.Build(env.n)
+	if err != nil {
+		return e, fmt.Errorf("census: task %s: %w", env.spec, err)
+	}
 	res, err := solver.SolveAffineWith(task, ra, env.maxRounds, solver.Options{
 		Workers:     1,
 		Cache:       env.cache,
+		TaskLabel:   env.taskLabel,
 		TraceParent: solveSpan.ID(),
 	})
 	e.Solved = true
@@ -155,7 +205,7 @@ type Examiner struct {
 }
 
 // NewExaminer builds an examiner for n-process queries. Only the
-// examination-shaping options are read: Solve, KTask, MaxRounds,
+// examination-shaping options are read: Solve, Task/KTask, MaxRounds,
 // VerifyWitnesses, Cache/CacheBytes and Universe. Pass
 // chromatic.SharedUniverse(n) as opts.Universe to share the vertex
 // identity space with other engines of the process.
@@ -163,11 +213,19 @@ func NewExaminer(n int, opts Options) (*Examiner, error) {
 	if n < 1 || n > 6 {
 		return nil, fmt.Errorf("census: n must be in [1,6], got %d", n)
 	}
-	return &Examiner{env: newRunEnv(n, &opts)}, nil
+	env, err := newRunEnv(n, &opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Examiner{env: env}, nil
 }
 
 // N returns the system size queries are answered for.
 func (x *Examiner) N() int { return x.env.n }
+
+// TaskSpec returns the canonical spec of the task the examiner decides
+// in solve mode (the kset spec on the KTask compat path).
+func (x *Examiner) TaskSpec() string { return x.env.spec.String() }
 
 // Examine classifies (and, when the examiner solves, decides) the
 // adversary at the given enumeration index.

@@ -1,0 +1,120 @@
+package census
+
+// Named adversary-family filters over the enumeration: instead of the
+// whole 2^(2^n - 1) domain, a sweep can target the classically studied
+// families — t-resilient, symmetric, k-obstruction-free — built from
+// the existing adversary constructors. Every family member here is
+// fixed by every color permutation, so its orbit is a singleton and
+// full-domain and orbit-mode family sweeps emit the same entries.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/adversary"
+)
+
+// ErrBadFamily reports a malformed or unknown family spec.
+var ErrBadFamily = errors.New("census: invalid adversary family")
+
+// familyFilter is one resolved family: its canonical spec string (part
+// of the checkpoint fingerprint) and the member enumeration indices.
+type familyFilter struct {
+	canonical string
+	indices   map[uint64]bool
+}
+
+func (f *familyFilter) member(idx uint64) bool { return f.indices[idx] }
+
+// FamilyKinds returns the family kinds a sweep can filter by.
+func FamilyKinds() []string {
+	return []string{"t-resilient", "symmetric", "k-obstruction-free"}
+}
+
+// resolveFamily parses `kind[:param=value]` and materializes the member
+// index set for an n-process domain. An empty spec means no filter
+// (nil). Kinds:
+//
+//   - t-resilient[:t=T] — A_{t-res} for the given t, or all t ∈ [0, n-1]
+//   - symmetric — every SymmetricFromSizes adversary (one per non-empty
+//     set of live-set sizes), 2^n - 1 members
+//   - k-obstruction-free[:k=K] — A_{k-OF} for the given k, or all
+//     k ∈ [1, n]
+func resolveFamily(spec string, n int) (*familyFilter, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	kind := spec
+	param := -1
+	paramName := ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		kind = spec[:i]
+		kv := spec[i+1:]
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("%w: %q: want kind:param=value", ErrBadFamily, spec)
+		}
+		v, err := strconv.Atoi(kv[eq+1:])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("%w: %q: parameter %s is not a non-negative integer", ErrBadFamily, spec, kv[:eq])
+		}
+		paramName, param = kv[:eq], v
+	}
+	f := &familyFilter{indices: make(map[uint64]bool)}
+	add := func(a *adversary.Adversary) { f.indices[adversary.EnumerationIndex(a)] = true }
+	switch kind {
+	case "t-resilient":
+		if paramName != "" && paramName != "t" {
+			return nil, fmt.Errorf("%w: %q: t-resilient takes t=", ErrBadFamily, spec)
+		}
+		if param >= n {
+			return nil, fmt.Errorf("%w: %q: t must be in [0, %d]", ErrBadFamily, spec, n-1)
+		}
+		if paramName == "" {
+			f.canonical = kind
+			for t := 0; t < n; t++ {
+				add(adversary.TResilient(n, t))
+			}
+		} else {
+			f.canonical = fmt.Sprintf("%s:t=%d", kind, param)
+			add(adversary.TResilient(n, param))
+		}
+	case "symmetric":
+		if paramName != "" {
+			return nil, fmt.Errorf("%w: %q: symmetric takes no parameter", ErrBadFamily, spec)
+		}
+		f.canonical = kind
+		// One adversary per non-empty subset of live-set sizes {1..n}.
+		for bits := 1; bits < 1<<uint(n); bits++ {
+			var sizes []int
+			for s := 1; s <= n; s++ {
+				if bits&(1<<uint(s-1)) != 0 {
+					sizes = append(sizes, s)
+				}
+			}
+			add(adversary.SymmetricFromSizes(n, sizes...))
+		}
+	case "k-obstruction-free":
+		if paramName != "" && paramName != "k" {
+			return nil, fmt.Errorf("%w: %q: k-obstruction-free takes k=", ErrBadFamily, spec)
+		}
+		if paramName != "" && (param < 1 || param > n) {
+			return nil, fmt.Errorf("%w: %q: k must be in [1, %d]", ErrBadFamily, spec, n)
+		}
+		if paramName == "" {
+			f.canonical = kind
+			for k := 1; k <= n; k++ {
+				add(adversary.KObstructionFree(n, k))
+			}
+		} else {
+			f.canonical = fmt.Sprintf("%s:k=%d", kind, param)
+			add(adversary.KObstructionFree(n, param))
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q (known: %s)",
+			ErrBadFamily, kind, strings.Join(FamilyKinds(), ", "))
+	}
+	return f, nil
+}

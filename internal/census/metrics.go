@@ -9,11 +9,16 @@ package census
 
 import "repro/internal/obs"
 
+// classifyTaskLabel is the task label of classification-only sweeps:
+// they examine adversaries without deciding any task, so their series
+// are kept apart from every solve sweep's per-spec series.
+const classifyTaskLabel = "classify"
+
 var (
-	censusIndicesExamined = obs.NewCounter("factool_census_indices_examined_total",
-		"Enumeration indices examined (classified, and solved when solving).")
-	censusEntriesEmitted = obs.NewCounter("factool_census_entries_emitted_total",
-		"Census entries delivered to sinks in frontier order.")
+	censusIndicesExamined = obs.NewCounterVec("factool_census_indices_examined_total",
+		"Enumeration indices examined (classified, and solved when solving).", "task")
+	censusEntriesEmitted = obs.NewCounterVec("factool_census_entries_emitted_total",
+		"Census entries delivered to sinks in frontier order.", "task")
 	censusShardSeconds = obs.NewHistogram("factool_census_shard_seconds",
 		"Per-shard examination latency in seconds (excludes reorder-window waits).",
 		obs.DefaultLatencyBuckets)

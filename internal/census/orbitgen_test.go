@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/tasks"
 )
 
 // filterReferenceJSONL renders the n-domain orbit sweep exactly as the
@@ -95,7 +96,7 @@ func TestOrbitResumeFromFilterEraCheckpoint(t *testing.T) {
 	opts := Options{Orbits: true}
 	sidecar := &Checkpoint{
 		Version:     checkpointVersion,
-		Fingerprint: fingerprint(n, &opts),
+		Fingerprint: fingerprint(n, &opts, tasks.KSetSpec(1), nil),
 		NextIndex:   frontier,
 		Emitted:     emitted,
 		OutBytes:    int64(len(prefix)),

@@ -19,6 +19,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/tasks"
 )
 
 // CoordinatorOptions tune a campaign coordinator.
@@ -168,6 +169,15 @@ func NewCoordinator(st *store.Store, camp Campaign, opts CoordinatorOptions) (*C
 		}
 		if st.SolveMode() != camp.Solve {
 			return nil, fmt.Errorf("fabric: store solve mode %v, campaign %v", st.SolveMode(), camp.Solve)
+		}
+	}
+	// Bind the campaign's task spec into the manifest up front: a store
+	// answering a different task refuses here (before any unit leases),
+	// and a fresh store records which task its verdicts will answer —
+	// `factool store verify` re-derives solve entries from that record.
+	if camp.Solve {
+		if err := st.BindTaskSpec(camp.Task); err != nil {
+			return nil, fmt.Errorf("fabric: %w", err)
 		}
 	}
 	if opts.UnitSize == 0 {
@@ -352,10 +362,13 @@ func (c *Coordinator) expireLocked(now time.Time) {
 	}
 }
 
-// acquireRequest is the POST /v1/leases body.
+// acquireRequest is the POST /v1/leases body. Task, when non-empty, is
+// the spec the worker expects to sweep — a campaign deciding a
+// different task answers 409 instead of leasing.
 type acquireRequest struct {
 	Worker string `json:"worker"`
 	TTLSec int    `json:"ttl_sec,omitempty"`
+	Task   string `json:"task,omitempty"`
 }
 
 // leaseInfo describes a granted lease to its worker.
@@ -383,6 +396,22 @@ func (c *Coordinator) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	if req.Worker == "" {
 		api.Error(w, r, http.StatusBadRequest, "missing worker id")
 		return
+	}
+	if req.Task != "" {
+		spec, err := tasks.ParseSpec(req.Task)
+		if err != nil {
+			api.Error(w, r, http.StatusBadRequest, "bad task %q: %v", req.Task, err)
+			return
+		}
+		if spec.String() != c.camp.Task {
+			campaignTask := c.camp.Task
+			if campaignTask == "" {
+				campaignTask = "none (classification campaign)"
+			}
+			api.Error(w, r, http.StatusConflict, "worker %s sweeps task %s, campaign decides %s",
+				req.Worker, spec, campaignTask)
+			return
+		}
 	}
 	ttl := c.opts.TTL
 	if req.TTLSec > 0 {

@@ -40,18 +40,24 @@ import (
 	"fmt"
 
 	"repro/internal/adversary"
+	"repro/internal/tasks"
 )
 
 // Campaign is the sweep configuration a coordinator distributes. It
 // must match the store's kind (a solve-mode orbit store only accepts
-// solve-mode orbit shards) — NewCoordinator checks, and the merge's
-// kind guard backstops.
+// solve-mode orbit shards) and task spec — NewCoordinator checks, and
+// the merge's kind guards backstop.
 type Campaign struct {
-	N         int  `json:"n"`
-	Orbits    bool `json:"orbits"`
-	Solve     bool `json:"solve,omitempty"`
-	KTask     int  `json:"k_task,omitempty"`
-	MaxRounds int  `json:"max_rounds,omitempty"`
+	N      int  `json:"n"`
+	Orbits bool `json:"orbits"`
+	Solve  bool `json:"solve,omitempty"`
+
+	// Task is the canonical spec of the task a solve campaign decides.
+	// Normalize derives it ("kset:k=<KTask>" when empty); workers sweep
+	// exactly this spec, so shards from every worker agree byte-wise.
+	Task      string `json:"task,omitempty"`
+	KTask     int    `json:"k_task,omitempty"`
+	MaxRounds int    `json:"max_rounds,omitempty"`
 }
 
 // normalize validates and defaults the campaign in place.
@@ -63,11 +69,24 @@ func (c *Campaign) normalize() error {
 		if c.KTask <= 0 {
 			c.KTask = 1
 		}
+		if c.Task == "" {
+			c.Task = tasks.KSetSpec(c.KTask).String()
+		}
+		spec, err := tasks.ParseSpec(c.Task)
+		if err != nil {
+			return fmt.Errorf("fabric: %w", err)
+		}
+		c.Task = spec.String()
+		if spec.IsKSet() {
+			c.KTask = spec.Param("k")
+		} else {
+			c.KTask = 0
+		}
 		if c.MaxRounds <= 0 {
 			c.MaxRounds = 1
 		}
 	} else {
-		c.KTask, c.MaxRounds = 0, 0
+		c.Task, c.KTask, c.MaxRounds = "", 0, 0
 	}
 	return nil
 }

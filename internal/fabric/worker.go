@@ -30,6 +30,12 @@ type WorkerOptions struct {
 	// APIKey, when non-empty, is sent as a Bearer token.
 	APIKey string
 
+	// TaskSpec, when non-empty, is the task spec this worker expects
+	// the campaign to decide; it is announced on acquire and a
+	// coordinator sweeping a different spec rejects the worker instead
+	// of handing it units it was not provisioned for.
+	TaskSpec string
+
 	// Workers is the sweep worker-pool size per unit (census
 	// Options.Workers). <= 0 selects one per CPU.
 	Workers int
@@ -338,7 +344,7 @@ func (w *worker) do(req *http.Request, out any) error {
 
 func (w *worker) acquire() (*leaseResponse, error) {
 	var resp leaseResponse
-	err := w.post("/v1/leases", acquireRequest{Worker: w.opts.ID, TTLSec: w.opts.TTLSec}, &resp)
+	err := w.post("/v1/leases", acquireRequest{Worker: w.opts.ID, TTLSec: w.opts.TTLSec, Task: w.opts.TaskSpec}, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -443,6 +449,7 @@ func (w *worker) runUnit(l *leaseInfo) (entries uint64, campaignDone bool, err e
 		Workers:     w.opts.Workers,
 		Orbits:      c.Orbits,
 		Solve:       c.Solve,
+		Task:        c.Task,
 		KTask:       c.KTask,
 		MaxRounds:   c.MaxRounds,
 		Cache:       w.cache,

@@ -7,7 +7,7 @@ package solver
 import "repro/internal/obs"
 
 var solverDecisions = obs.NewCounterVec("factool_solver_decisions_total",
-	"Solvability decisions by outcome.", "outcome")
+	"Solvability decisions by outcome and decided task.", "outcome", "task")
 
 func init() {
 	obs.Default.MustRegister("solver-decisions", solverDecisions)

@@ -67,6 +67,11 @@ type Options struct {
 	// extensions record under (the census solve path passes its
 	// census.solve span so tower-extend spans nest inside it).
 	TraceParent obs.SpanID
+
+	// TaskLabel is the task value of the decision metrics — the census
+	// passes its canonical task spec so multi-task campaigns split into
+	// per-spec series. Empty selects the task's Name.
+	TaskLabel string
 }
 
 // ErrBadInput reports an invalid configuration.
@@ -127,6 +132,10 @@ func SolveTables(task *tasks.Task, tables chromatic.MemberTables, maxRounds int,
 	if limit <= 0 {
 		limit = defaultNodeLimit
 	}
+	taskLabel := opts.TaskLabel
+	if taskLabel == "" {
+		taskLabel = task.Name
+	}
 	var (
 		tower  *chromatic.Tower
 		cached *chromatic.CachedTower
@@ -154,7 +163,7 @@ func SolveTables(task *tasks.Task, tables chromatic.MemberTables, maxRounds int,
 		m, ok, err := searchMap(tower, round, task, workers, limit)
 		if err != nil {
 			if errors.Is(err, ErrSearchLimit) {
-				solverDecisions.With("undecided").Add(1)
+				solverDecisions.With("undecided", taskLabel).Add(1)
 			}
 			return nil, err
 		}
@@ -162,11 +171,11 @@ func SolveTables(task *tasks.Task, tables chromatic.MemberTables, maxRounds int,
 			res.Solvable = true
 			res.Rounds = round
 			res.Map = m
-			solverDecisions.With("solvable").Add(1)
+			solverDecisions.With("solvable", taskLabel).Add(1)
 			return res, nil
 		}
 	}
-	solverDecisions.With("unsolvable").Add(1)
+	solverDecisions.With("unsolvable", taskLabel).Add(1)
 	return res, nil
 }
 

@@ -81,6 +81,7 @@ func (s *Store) Merge(shardPaths []string, opts MergeOptions) (MergeStats, error
 		N:          s.man.N,
 		EntryKind:  s.man.EntryKind,
 		Solve:      s.man.Solve,
+		Task:       s.man.Task,
 		Generation: gen,
 		DataFile:   dataFileName(gen),
 	}
@@ -146,6 +147,9 @@ func (s *Store) Merge(shardPaths []string, opts MergeOptions) (MergeStats, error
 		// from the probe parsed during scanning — no reparse.
 		if src.scan != nil {
 			if err := admitKind(&newMan, src.orbit, idx); err != nil {
+				return MergeStats{}, err
+			}
+			if err := admitTask(&newMan, src.task, src.solved, idx); err != nil {
 				return MergeStats{}, err
 			}
 			if src.solved {
@@ -216,8 +220,9 @@ type mergeSource struct {
 
 	idx     uint64
 	line    []byte
-	orbit   bool // shard lines: entry carries an orbit size
-	solved  bool // shard lines: entry carries solve results
+	orbit   bool   // shard lines: entry carries an orbit size
+	solved  bool   // shard lines: entry carries solve results
+	task    string // shard lines: task spec the entry answers ("" = kset/classify)
 	started bool
 }
 
@@ -227,6 +232,7 @@ type lineProbe struct {
 	Index     uint64 `json:"index"`
 	OrbitSize uint64 `json:"orbit_size"`
 	Solved    bool   `json:"solved"`
+	Task      string `json:"task"`
 }
 
 // next advances to the following entry; false means exhausted.
@@ -262,7 +268,7 @@ func (m *mergeSource) next() (bool, error) {
 			return false, fmt.Errorf("store: shard %s: %w", m.name, err)
 		}
 		m.idx, m.line = probe.Index, append([]byte(nil), line...)
-		m.orbit, m.solved = probe.OrbitSize > 0, probe.Solved
+		m.orbit, m.solved, m.task = probe.OrbitSize > 0, probe.Solved, probe.Task
 	}
 	if had && m.idx < prev {
 		return false, fmt.Errorf("store: source %s is not sorted by index (%d after %d)", m.name, m.idx, prev)

@@ -1,10 +1,11 @@
 package store
 
 // Registry: many stores, one process. Each census store covers one n
-// (and one kind — full or orbit-reduced); a registry mounts any number
-// of them so a single `factool serve` answers every mounted n from one
-// address. The serving layer routes each query's n parameter to its
-// mount; /v1/stores lists them.
+// (one kind — full or orbit-reduced — and at most one task spec); a
+// registry mounts any number of them so a single `factool serve`
+// answers every mounted (n, task) from one address. The serving layer
+// routes each query's n (and optional task) parameter to its mount;
+// /v1/stores lists them.
 
 import (
 	"fmt"
@@ -13,11 +14,20 @@ import (
 	"sync"
 )
 
-// Registry is a set of mounted stores keyed by n. Safe for concurrent
-// use; mounts are add-only (a serving process never unmounts).
+// mountKey identifies one mount: the system size plus the canonical
+// task spec the store's solve verdicts answer ("" for classification
+// and unbound kset stores).
+type mountKey struct {
+	n    int
+	task string
+}
+
+// Registry is a set of mounted stores keyed by (n, task). Safe for
+// concurrent use; mounts are add-only (a serving process never
+// unmounts).
 type Registry struct {
 	mu     sync.RWMutex
-	mounts map[int]*Mount
+	mounts map[mountKey]*Mount
 }
 
 // Mount is one store mounted under a registry.
@@ -33,31 +43,42 @@ func (m *Mount) Name() string { return m.name }
 // N returns the mounted store's system size.
 func (m *Mount) N() int { return m.st.N() }
 
+// Task returns the canonical task spec the mounted store answers
+// ("" for classification and unbound kset stores).
+func (m *Mount) Task() string { return m.st.Task() }
+
 // Store returns the mounted store.
 func (m *Mount) Store() *Store { return m.st }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{mounts: make(map[int]*Mount)}
+	return &Registry{mounts: make(map[mountKey]*Mount)}
 }
 
 // Mount adds an open store under the given display name. One mount per
-// n: a second store of the same n is a configuration error, not a
-// routing choice the server could make per query.
+// (n, task): a second store answering the same question is a
+// configuration error, not a routing choice the server could make per
+// query.
 func (r *Registry) Mount(name string, st *Store) error {
 	if st == nil {
 		return fmt.Errorf("store: mount %q: nil store", name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := st.N()
-	if prev, ok := r.mounts[n]; ok {
-		return fmt.Errorf("store: n=%d already mounted as %q", n, prev.name)
+	key := mountKey{n: st.N(), task: st.Task()}
+	if prev, ok := r.mounts[key]; ok {
+		if key.task == "" {
+			return fmt.Errorf("store: n=%d already mounted as %q", key.n, prev.name)
+		}
+		return fmt.Errorf("store: n=%d task %s already mounted as %q", key.n, key.task, prev.name)
 	}
 	if name == "" {
-		name = fmt.Sprintf("n%d", n)
+		name = fmt.Sprintf("n%d", key.n)
+		if key.task != "" {
+			name = fmt.Sprintf("n%d-%s", key.n, key.task)
+		}
 	}
-	r.mounts[n] = &Mount{name: name, st: st}
+	r.mounts[key] = &Mount{name: name, st: st}
 	return nil
 }
 
@@ -75,15 +96,42 @@ func (r *Registry) MountDir(dir string) error {
 	return nil
 }
 
-// Get returns the mount serving n.
+// Get returns the mount serving n without naming a task: the
+// task-neutral mount when one exists, else the sole mount of that n.
+// Two task-specific mounts with no neutral sibling are ambiguous and
+// resolve to nothing — queries must name the task.
 func (r *Registry) Get(n int) (*Mount, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	m, ok := r.mounts[n]
+	if m, ok := r.mounts[mountKey{n: n}]; ok {
+		return m, true
+	}
+	var only *Mount
+	for key, m := range r.mounts {
+		if key.n != n {
+			continue
+		}
+		if only != nil {
+			return nil, false
+		}
+		only = m
+	}
+	return only, only != nil
+}
+
+// GetTask returns the mount serving the given (n, canonical task
+// spec). An empty task selects Get's defaulting.
+func (r *Registry) GetTask(n int, task string) (*Mount, bool) {
+	if task == "" {
+		return r.Get(n)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.mounts[mountKey{n: n, task: task}]
 	return m, ok
 }
 
-// Mounts returns every mount, sorted by n.
+// Mounts returns every mount, sorted by (n, task).
 func (r *Registry) Mounts() []*Mount {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -91,17 +139,26 @@ func (r *Registry) Mounts() []*Mount {
 	for _, m := range r.mounts {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].N() < out[j].N() })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N() != out[j].N() {
+			return out[i].N() < out[j].N()
+		}
+		return out[i].Task() < out[j].Task()
+	})
 	return out
 }
 
-// Ns returns the mounted system sizes, ascending.
+// Ns returns the mounted system sizes, ascending, each once.
 func (r *Registry) Ns() []int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	seen := make(map[int]bool)
 	ns := make([]int, 0, len(r.mounts))
-	for n := range r.mounts {
-		ns = append(ns, n)
+	for key := range r.mounts {
+		if !seen[key.n] {
+			seen[key.n] = true
+			ns = append(ns, key.n)
+		}
 	}
 	sort.Ints(ns)
 	return ns

@@ -1,20 +1,23 @@
 package store
 
 // The v1 HTTP serving layer over a registry of census stores: one
-// process mounts a store per n and answers the whole API for all of
-// them. Queries resolve store-first through a per-mount entry LRU and
-// presence filter; a miss falls back to live computation on the census
-// examination path (all mounts share one byte-budgeted TowerCache;
-// each mount shares chromatic.SharedUniverse(n)) and persists the
-// computed answer back to its store.
+// process mounts a store per (n, task) and answers the whole API for
+// all of them. Queries resolve store-first through a per-mount entry
+// LRU and presence filter; a miss falls back to live computation on
+// the census examination path (all mounts share one byte-budgeted
+// TowerCache; each mount shares chromatic.SharedUniverse(n)) and
+// persists the computed answer back to its store. Read queries take an
+// optional task=<spec> parameter routing to the mount answering that
+// task; without it the task-neutral (or sole) mount of the n answers.
 //
-//	GET  /v1/classify?n=N&index=I       one adversary's census entry
+//	GET  /v1/classify?n=N&index=I[&task=S]  one adversary's census entry
 //	POST /v1/classify                   bulk: {"n":N,"indices":[...]}
 //	GET  /v1/entries?n=N&from=A&to=B    range scan (paginated JSON, or
 //	                                    format=jsonl streaming)
 //	GET  /v1/summary?n=N                aggregate over a mounted store
-//	GET  /v1/solve?n=N&index=I&ktask=K[&rounds=L]  live FACT decision
-//	GET  /v1/stores                     the mounted stores
+//	GET  /v1/solve?n=N&index=I&task=S[&rounds=L]  live FACT decision
+//	                                    (ktask=K selects kset:k=K)
+//	GET  /v1/stores                     the mounted stores + task specs
 //	GET  /healthz                       liveness + counters
 //	GET  /readyz                        readiness (503 while draining)
 //	GET  /metrics                       Prometheus text exposition
@@ -45,6 +48,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/census"
 	"repro/internal/chromatic"
+	"repro/internal/tasks"
 )
 
 // ServerOptions tune the serving layer.
@@ -95,7 +99,7 @@ type Server struct {
 	mw     *api.Middleware
 
 	mu     sync.RWMutex
-	states map[int]*mountState
+	states map[mountKey]*mountState
 
 	started time.Time
 
@@ -153,7 +157,7 @@ func NewServer(reg *Registry, opts ServerOptions) (*Server, error) {
 		opts:    opts,
 		tcache:  tcache,
 		m:       newMetrics(),
-		states:  make(map[int]*mountState),
+		states:  make(map[mountKey]*mountState),
 		started: time.Now(),
 	}
 	s.mw = api.NewMiddleware(api.MiddlewareOptions{
@@ -162,7 +166,7 @@ func NewServer(reg *Registry, opts ServerOptions) (*Server, error) {
 		AccessLog: opts.AccessLog,
 	})
 	for _, mt := range reg.Mounts() {
-		if _, err := s.state(mt.N()); err != nil {
+		if _, err := s.state(mt.N(), mt.Task()); err != nil {
 			return nil, err
 		}
 	}
@@ -170,21 +174,26 @@ func NewServer(reg *Registry, opts ServerOptions) (*Server, error) {
 	return s, nil
 }
 
-// state returns (building lazily) the serving state of the mount for n.
-func (s *Server) state(n int) (*mountState, error) {
+// state returns (building lazily) the serving state of the mount for
+// (n, canonical task spec); an empty task selects the registry's
+// defaulting (the task-neutral or sole mount of that n).
+func (s *Server) state(n int, task string) (*mountState, error) {
+	mt, ok := s.reg.GetTask(n, task)
+	if !ok {
+		return nil, nil
+	}
+	// Key by the mount's own identity: the defaulted lookup for task ""
+	// may resolve to a task-specific mount.
+	key := mountKey{n: mt.N(), task: mt.Task()}
 	s.mu.RLock()
-	ms, ok := s.states[n]
+	ms, ok := s.states[key]
 	s.mu.RUnlock()
 	if ok {
 		return ms, nil
 	}
-	mt, ok := s.reg.Get(n)
-	if !ok {
-		return nil, nil
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if ms, ok := s.states[n]; ok {
+	if ms, ok := s.states[key]; ok {
 		return ms, nil
 	}
 	universe := chromatic.SharedUniverse(n)
@@ -205,7 +214,7 @@ func (s *Server) state(n int) (*mountState, error) {
 		universe: universe,
 		lru:      newEntryLRU(s.opts.CacheEntries),
 	}
-	s.states[n] = ms
+	s.states[key] = ms
 	return ms, nil
 }
 
@@ -228,9 +237,11 @@ func (s *Server) Handler() http.Handler {
 	return s.mw.Wrap(mux)
 }
 
-// mountFor routes a request's n parameter to its serving state,
-// answering the envelope for missing/invalid/unmounted n.
-func (s *Server) mountFor(w http.ResponseWriter, r *http.Request, nStr string) (*mountState, bool) {
+// mountFor routes a request's (n, optional task) parameters to its
+// serving state, answering the envelope for missing/invalid/unmounted
+// combinations. The task spec is canonicalized before lookup, so
+// "kset" and "kset:k=1" route to the same mount.
+func (s *Server) mountFor(w http.ResponseWriter, r *http.Request, nStr, taskStr string) (*mountState, bool) {
 	if nStr == "" {
 		api.Error(w, r, http.StatusBadRequest, "missing n parameter (mounted: n=%v)", s.reg.Ns())
 		return nil, false
@@ -240,12 +251,25 @@ func (s *Server) mountFor(w http.ResponseWriter, r *http.Request, nStr string) (
 		api.Error(w, r, http.StatusBadRequest, "bad n %q", nStr)
 		return nil, false
 	}
-	ms, err := s.state(n)
+	task := ""
+	if taskStr != "" {
+		spec, err := tasks.ParseSpec(taskStr)
+		if err != nil {
+			api.Error(w, r, http.StatusBadRequest, "bad task %q: %v", taskStr, err)
+			return nil, false
+		}
+		task = spec.String()
+	}
+	ms, err := s.state(n, task)
 	if err != nil {
 		api.Error(w, r, http.StatusInternalServerError, "mount n=%d: %v", n, err)
 		return nil, false
 	}
 	if ms == nil {
+		if task != "" {
+			api.Error(w, r, http.StatusNotFound, "n=%d task %s not mounted (mounted: n=%v)", n, task, s.reg.Ns())
+			return nil, false
+		}
 		api.Error(w, r, http.StatusNotFound, "n=%d not mounted (mounted: n=%v)", n, s.reg.Ns())
 		return nil, false
 	}
@@ -275,9 +299,11 @@ type classifyResponse struct {
 	Entry  *census.Entry `json:"entry"`
 }
 
-// batchClassifyRequest is the POST /v1/classify body.
+// batchClassifyRequest is the POST /v1/classify body. Task optionally
+// routes to the mount answering that spec, like GET's task parameter.
 type batchClassifyRequest struct {
 	N       int      `json:"n"`
+	Task    string   `json:"task,omitempty"`
 	Indices []uint64 `json:"indices"`
 }
 
@@ -292,7 +318,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	switch r.Method {
 	case http.MethodGet, http.MethodHead:
-		ms, ok := s.mountFor(w, r, r.URL.Query().Get("n"))
+		ms, ok := s.mountFor(w, r, r.URL.Query().Get("n"), r.URL.Query().Get("task"))
 		if !ok {
 			return
 		}
@@ -312,7 +338,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			api.Error(w, r, http.StatusBadRequest, "bad body: %v", err)
 			return
 		}
-		ms, ok := s.mountFor(w, r, strconv.Itoa(req.N))
+		ms, ok := s.mountFor(w, r, strconv.Itoa(req.N), req.Task)
 		if !ok {
 			return
 		}
@@ -451,7 +477,7 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	ms, ok := s.mountFor(w, r, q.Get("n"))
+	ms, ok := s.mountFor(w, r, q.Get("n"), q.Get("task"))
 	if !ok {
 		return
 	}
@@ -552,7 +578,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		api.Error(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	ms, ok := s.mountFor(w, r, r.URL.Query().Get("n"))
+	ms, ok := s.mountFor(w, r, r.URL.Query().Get("n"), r.URL.Query().Get("task"))
 	if !ok {
 		return
 	}
@@ -564,14 +590,17 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	api.WriteJSON(w, summaryResponse{N: ms.mount.N(), Summary: sum, Store: ms.mount.Store().Stats()})
 }
 
-// solveResponse is the /v1/solve envelope.
+// solveResponse is the /v1/solve envelope. KTask is set for kset
+// decisions (the pre-spec surface); Task carries the canonical spec of
+// every non-kset decision.
 type solveResponse struct {
 	N         int    `json:"n"`
 	Index     uint64 `json:"index"`
 	Adversary string `json:"adversary"`
 	Fair      bool   `json:"fair"`
 	Setcon    int    `json:"setcon"`
-	KTask     int    `json:"k_task"`
+	KTask     int    `json:"k_task,omitempty"`
+	Task      string `json:"task,omitempty"`
 	MaxRounds int    `json:"max_rounds"`
 	Solved    bool   `json:"solved"`
 	Solvable  *bool  `json:"solvable,omitempty"`
@@ -588,7 +617,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	ms, ok := s.mountFor(w, r, q.Get("n"))
+	// The mount only supplies the n-domain and universe: /v1/solve is a
+	// live decision of any registered task, so the task parameter does
+	// not route mounts here.
+	ms, ok := s.mountFor(w, r, q.Get("n"), "")
 	if !ok {
 		return
 	}
@@ -597,14 +629,28 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := ms.mount.N()
-	kTask := 1
-	if v := q.Get("ktask"); v != "" {
+	spec := tasks.KSetSpec(1)
+	if v := q.Get("task"); v != "" {
+		if q.Get("ktask") != "" {
+			api.Error(w, r, http.StatusBadRequest, "task and ktask are mutually exclusive")
+			return
+		}
+		var err error
+		if spec, err = tasks.ParseSpec(v); err != nil {
+			api.Error(w, r, http.StatusBadRequest, "bad task %q: %v", v, err)
+			return
+		}
+	} else if v := q.Get("ktask"); v != "" {
 		k, err := strconv.Atoi(v)
-		if err != nil || k < 1 || k > n {
+		if err != nil || k < 1 {
 			api.Error(w, r, http.StatusBadRequest, "ktask %q outside [1, %d]", v, n)
 			return
 		}
-		kTask = k
+		spec = tasks.KSetSpec(k)
+	}
+	if k := spec.Param("k"); spec.IsKSet() && k > n {
+		api.Error(w, r, http.StatusBadRequest, "ktask %q outside [1, %d]", strconv.Itoa(k), n)
+		return
 	}
 	maxRounds := s.opts.MaxRounds
 	if v := q.Get("rounds"); v != "" {
@@ -617,9 +663,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	// Always a live decision over the shared universe and tower cache:
 	// store entries only memoize the census' own solve configuration,
-	// while /v1/solve answers for any (ktask, rounds).
+	// while /v1/solve answers for any (task, rounds).
 	ex, err := census.NewExaminer(n, census.Options{
-		Solve: true, KTask: kTask, MaxRounds: maxRounds,
+		Solve: true, Task: spec.String(), MaxRounds: maxRounds,
 		Universe: ms.universe, Cache: s.tcache,
 	})
 	if err != nil {
@@ -635,14 +681,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.computeSeconds.Observe(time.Since(t0).Seconds())
-	api.WriteJSON(w, solveResponse{
+	resp := solveResponse{
 		N: n, Index: idx, Adversary: e.Adversary,
 		Fair: e.Fair, Setcon: e.Setcon,
-		KTask: kTask, MaxRounds: maxRounds,
-		Solved: e.Solved, Solvable: e.Solvable, Rounds: e.Rounds,
+		MaxRounds: maxRounds,
+		Solved:    e.Solved, Solvable: e.Solvable, Rounds: e.Rounds,
 		RAFacets: e.RAFacets, Undecided: e.Undecided,
 		Source: "computed",
-	})
+	}
+	if spec.IsKSet() {
+		resp.KTask = spec.Param("k")
+	} else {
+		resp.Task = spec.String()
+	}
+	api.WriteJSON(w, resp)
 }
 
 // storeInfo is one mount in the /v1/stores listing.
@@ -651,6 +703,7 @@ type storeInfo struct {
 	N      int    `json:"n"`
 	Kind   string `json:"kind"` // full | orbit | empty
 	Solve  bool   `json:"solve,omitempty"`
+	Task   string `json:"task,omitempty"` // canonical spec the store answers
 	Domain uint64 `json:"domain"`
 	Stats  Stats  `json:"stats"`
 }
@@ -677,6 +730,7 @@ func (s *Server) handleStores(w http.ResponseWriter, r *http.Request) {
 			N:      mt.N(),
 			Kind:   kind,
 			Solve:  st.SolveMode(),
+			Task:   st.Task(),
 			Domain: adversary.CensusSize(mt.N()),
 			Stats:  stats,
 		})

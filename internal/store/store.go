@@ -39,6 +39,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/census"
 	"repro/internal/procs"
+	"repro/internal/tasks"
 )
 
 const (
@@ -63,9 +64,11 @@ var (
 	// ErrCorrupt reports a store whose data fails validation (CRC, block
 	// framing, or manifest/data disagreement).
 	ErrCorrupt = errors.New("store: corrupt data")
-	// ErrKindMismatch reports mixing orbit-reduced and full-sweep
-	// entries in one store, which would skew every aggregate.
-	ErrKindMismatch = errors.New("store: cannot mix orbit-reduced and full-sweep entries")
+	// ErrKindMismatch reports mixing incompatible entry populations in
+	// one store — orbit-reduced vs full-sweep entries, or solve entries
+	// answering different task specs — which would skew every aggregate
+	// and answer.
+	ErrKindMismatch = errors.New("store: incompatible entry kinds for one store")
 )
 
 // Entry kinds recorded in the manifest. A store is committed to one
@@ -95,11 +98,21 @@ type manifest struct {
 	EntryKind string `json:"entry_kind,omitempty"`
 
 	// Solve records that the store holds entries of a solve-mode sweep
-	// (set as soon as any ingested entry carries solve results). The
-	// sweep's exact solve configuration (k, rounds) is not recoverable
-	// from entries, so the serving layer disables classify write-backs
-	// into such a store rather than mixing configurations.
+	// (set as soon as any ingested entry carries solve results). For
+	// kset sweeps the exact solve configuration (k, rounds) is not
+	// recoverable from entries unless Task below was bound, so the
+	// serving layer disables classify write-backs into such a store
+	// rather than mixing configurations.
 	Solve bool `json:"solve,omitempty"`
+
+	// Task is the canonical tasks.Spec string the store's solve entries
+	// answer. It is committed by the first ingested entry carrying a
+	// task field (non-kset sweeps stamp every entry), or bound
+	// explicitly via BindTaskSpec (the fabric coordinator records its
+	// campaign's spec, including kset ones, so `store verify` can
+	// re-derive solve verdicts). Entries of a different spec never
+	// merge. Empty means classification-only or an unbound kset store.
+	Task string `json:"task,omitempty"`
 
 	Generation int         `json:"generation"`
 	DataFile   string      `json:"data_file"`
@@ -269,6 +282,47 @@ func (s *Store) SolveMode() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.man.Solve
+}
+
+// Task returns the canonical spec of the task the store's solve
+// entries answer — empty for classification-only stores and for kset
+// solve stores that were never bound via BindTaskSpec.
+func (s *Store) Task() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.Task
+}
+
+// BindTaskSpec records the task spec the store's solve entries answer,
+// persisting it in the manifest. The fabric coordinator binds its
+// campaign's spec so even kset stores — whose entries carry no task
+// field for compatibility — become verifiable and guard their merges.
+// Binding a spec over a different recorded one, or a non-kset spec
+// over existing kset solve entries, is a kind mismatch.
+func (s *Store) BindTaskSpec(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	parsed, err := tasks.ParseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	canonical := parsed.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.man.Task == canonical {
+		return nil
+	}
+	if s.man.Task != "" {
+		return fmt.Errorf("%w: store answers task %q, cannot bind %q",
+			ErrKindMismatch, s.man.Task, canonical)
+	}
+	if s.man.Solve && !parsed.IsKSet() {
+		return fmt.Errorf("%w: store holds kset solve entries, cannot bind task %q",
+			ErrKindMismatch, canonical)
+	}
+	s.man.Task = canonical
+	return s.writeManifestLocked()
 }
 
 // Stats describes a store's physical shape.
@@ -556,6 +610,9 @@ func (s *Store) PutNew(e *census.Entry) (added bool, err error) {
 	if err := s.admitKindLocked(e.OrbitSize > 0); err != nil {
 		return false, err
 	}
+	if err := admitTask(&s.man, e.Task, e.Solved, e.Index); err != nil {
+		return false, err
+	}
 	if e.Solved {
 		s.man.Solve = true
 	}
@@ -605,6 +662,41 @@ func (s *Store) admitKindLocked(orbit bool) error {
 	default:
 		return fmt.Errorf("%w: store holds %s entries, got a %s one",
 			ErrKindMismatch, s.man.EntryKind, kind)
+	}
+}
+
+// taskIsKSet reports whether a canonical manifest task string names the
+// kset compat family, whose entries carry no task field.
+func taskIsKSet(task string) bool {
+	return task == "kset" || (len(task) > 5 && task[:5] == "kset:")
+}
+
+// admitTask commits the manifest to the task spec of the first entry
+// carrying one and rejects mixing specs afterwards. Entries without a
+// task field are the kset compat population: their solved entries are
+// admissible only into stores whose recorded task (if any) is a kset
+// spec. Callers update man.Solve after this check, never before.
+func admitTask(man *manifest, task string, solved bool, idx uint64) error {
+	if task == "" {
+		if solved && man.Task != "" && !taskIsKSet(man.Task) {
+			return fmt.Errorf("%w: store answers task %q, entry %d is a kset solve entry",
+				ErrKindMismatch, man.Task, idx)
+		}
+		return nil
+	}
+	switch man.Task {
+	case task:
+		return nil
+	case "":
+		if man.Solve {
+			return fmt.Errorf("%w: store holds kset solve entries, entry %d answers task %q",
+				ErrKindMismatch, idx, task)
+		}
+		man.Task = task
+		return nil
+	default:
+		return fmt.Errorf("%w: store answers task %q, entry %d answers %q",
+			ErrKindMismatch, man.Task, idx, task)
 	}
 }
 

@@ -411,7 +411,7 @@ func TestSolveStoreDisablesWriteBack(t *testing.T) {
 		t.Fatal("store of a -solve sweep not marked solve-mode")
 	}
 	srv := registryServer(t, st, ServerOptions{})
-	ms, err := srv.state(3)
+	ms, err := srv.state(3, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,14 +6,18 @@ package store
 // blocks, exact First/Last/Entries, in-domain indices, byte-identical
 // duplicates across overlapping blocks, kind discipline) and an
 // orbit-consistency spot check re-deriving canonicality, orbit sizes
-// and (for classify stores) whole classification entries from scratch.
+// and whole entries from scratch — classification entries always, and
+// solve entries whenever the manifest records which task the store's
+// verdicts answer.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
 	"repro/internal/adversary"
 	"repro/internal/census"
+	"repro/internal/chromatic"
 )
 
 // VerifyOptions tune a deep check.
@@ -73,6 +77,18 @@ func (s *Store) Verify(opts VerifyOptions) (*VerifyReport, error) {
 			return nil, err
 		}
 	}
+	// Solve stores are re-derivable once the manifest records the task
+	// their verdicts answer (a kset spec bound there re-derives compat
+	// entries byte-identically: those carry no task field either way).
+	var solve *solveRederiver
+	if task := s.Task(); solveMode && task != "" {
+		solve = &solveRederiver{
+			n:        n,
+			task:     task,
+			universe: chromatic.SharedUniverse(n),
+			cache:    chromatic.NewTowerCache(),
+		}
+	}
 	// Evenly-spread semantic sample over the unique entry sequence.
 	step := uint64(1)
 	if u := s.Stats().Entries; u > uint64(spot) {
@@ -109,7 +125,7 @@ func (s *Store) Verify(opts VerifyOptions) (*VerifyReport, error) {
 			}
 			if pos%step == 0 && rep.SpotChecked < spot {
 				rep.SpotChecked++
-				s.spotCheck(rep, orbits, examiner, idx, &e, line)
+				s.spotCheck(rep, orbits, examiner, solve, idx, &e, line)
 			}
 			pos++
 		}
@@ -173,13 +189,54 @@ func (s *Store) verifyPhysical(rep *VerifyReport) (n int, domain uint64, orbitKi
 	return n, domain, orbitKind, solveMode, nil
 }
 
+// solveRederiver re-derives solve-mode entries under the task spec the
+// manifest records. The Universe and TowerCache are shared across the
+// whole sample; the Examiner is fresh per entry because MaxRounds is
+// pinned to that entry's recorded rounds.
+type solveRederiver struct {
+	n        int
+	task     string
+	universe *chromatic.Universe
+	cache    *chromatic.TowerCache
+}
+
+// rederive recomputes the entry from scratch at MaxRounds = max(1,
+// e.Rounds): exact for solvable entries (the solver reports the
+// minimal round count), and sound for unsolvable ones (solvability is
+// monotone in rounds, so unsolvable within R implies unsolvable
+// within 1).
+func (v *solveRederiver) rederive(e *census.Entry) ([]byte, error) {
+	rounds := e.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	ex, err := census.NewExaminer(v.n, census.Options{
+		Solve:     true,
+		Task:      v.task,
+		MaxRounds: rounds,
+		Universe:  v.universe,
+		Cache:     v.cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	want, err := ex.Examine(e.Index)
+	if err != nil {
+		return nil, err
+	}
+	want.OrbitSize = e.OrbitSize
+	return json.Marshal(&want)
+}
+
 // spotCheck re-derives one entry from scratch: canonicality and orbit
-// size on orbit stores, and — on classify stores, where the sweep
-// configuration is fully known — the whole entry byte-for-byte (a
-// solve sweep's (k, rounds) is not recoverable, so solve stores get
-// the orbit checks only).
+// size on orbit stores, and the whole entry byte-for-byte wherever the
+// sweep configuration is fully known — always on classify stores, and
+// on solve stores whose manifest records the task (an unbound solve
+// store's (task, rounds) is not recoverable, so it gets the orbit
+// checks only; undecided entries are skipped, their search budget is
+// not recorded).
 func (s *Store) spotCheck(rep *VerifyReport, orbits *adversary.Orbits, examiner *census.Examiner,
-	idx uint64, e *census.Entry, line []byte) {
+	solve *solveRederiver, idx uint64, e *census.Entry, line []byte) {
 	if orbits != nil {
 		if !orbits.IsCanonical(idx) {
 			rep.problemf("index %d: orbit store entry is not a canonical representative", idx)
@@ -188,6 +245,18 @@ func (s *Store) spotCheck(rep *VerifyReport, orbits *adversary.Orbits, examiner 
 		if _, size, _ := orbits.CanonicalWithWitness(idx); size != e.OrbitSize {
 			rep.problemf("index %d: stored orbit size %d, derived %d", idx, e.OrbitSize, size)
 		}
+	}
+	if solve != nil && !e.Undecided {
+		wb, err := solve.rederive(e)
+		if err != nil {
+			rep.problemf("index %d: solve re-derivation failed: %v", idx, err)
+			return
+		}
+		rep.Reclassified++
+		if !bytes.Equal(wb, line) {
+			rep.problemf("index %d: stored entry differs from solve re-derivation: stored %s, derived %s", idx, line, wb)
+		}
+		return
 	}
 	if examiner == nil {
 		return

@@ -1,0 +1,88 @@
+package tasks
+
+// ε-approximate agreement, discretized: processes output values on the
+// integer grid {0, …, n−1}; all outputs must lie within eps of each
+// other and within the range of the participating inputs (process p_i
+// inputs value i). eps=0 degenerates to consensus on a seen input;
+// eps≥n−1 is trivially solvable.
+
+import (
+	"fmt"
+
+	"repro/internal/procs"
+	"repro/internal/sc"
+)
+
+// ApproxAgreement builds the eps-approximate agreement task on the
+// integer grid for n processes.
+func ApproxAgreement(n, eps int) *Task {
+	out := sc.NewComplex(n)
+	for c := 0; c < n; c++ {
+		for v := 0; v < n; v++ {
+			_ = out.AddVertex(outVertexID(n, c, v), c, fmt.Sprintf("%v:val=%d", procs.ID(c), v))
+		}
+	}
+	// Facets: total assignments whose spread (max−min) is at most eps.
+	var rec func(assign []int, at, min, max int)
+	rec = func(assign []int, at, min, max int) {
+		if at == n {
+			ids := make([]sc.VertexID, n)
+			for c, v := range assign {
+				ids[c] = outVertexID(n, c, v)
+			}
+			_ = out.AddSimplex(ids...)
+			return
+		}
+		for v := 0; v < n; v++ {
+			nmin, nmax := min, max
+			if at == 0 || v < nmin {
+				nmin = v
+			}
+			if at == 0 || v > nmax {
+				nmax = v
+			}
+			if nmax-nmin <= eps {
+				assign[at] = v
+				rec(assign, at+1, nmin, nmax)
+			}
+		}
+	}
+	rec(make([]int, n), 0, 0, 0)
+
+	value := func(o sc.VertexID) int { return int(o) % n }
+	return &Task{
+		Name:   fmt.Sprintf("approx-agreement(n=%d,eps=%d)", n, eps),
+		N:      n,
+		Input:  StandardInput(n),
+		Output: out,
+		VertexAllowed: func(carrier sc.Simplex, o sc.VertexID) bool {
+			// Validity: the value lies within the range of the carrier's
+			// inputs (input vertex ids are the proposed values).
+			min, max := -1, -1
+			for _, in := range carrier {
+				v := int(in)
+				if min < 0 || v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			v := value(o)
+			return min >= 0 && v >= min && v <= max
+		},
+		SimplexAllowed: func(_ sc.Simplex, img sc.Simplex) bool {
+			min, max := -1, -1
+			for _, o := range img {
+				v := value(o)
+				if min < 0 || v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			return max-min <= eps
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package tasks
+
+// Loop agreement (Herlihy–Rajsbaum): three distinguished vertices on a
+// loop; processes start on corners and must converge onto a single
+// vertex or a single edge of the loop, with solo runs pinned to the
+// starting corner. This discrete instance uses the hexagon loop — the
+// barycentric edge subdivision of a triangle boundary: corners at
+// positions 0/2/4, midpoints at 1/3/5, and process p_i starts on corner
+// (i mod 3).
+
+import (
+	"fmt"
+
+	"repro/internal/procs"
+	"repro/internal/sc"
+)
+
+const loopLen = 6
+
+// loopVertexID encodes the output vertex (color, position) on the
+// hexagon for an n-process system.
+func loopVertexID(n, color, pos int) sc.VertexID {
+	return sc.VertexID(color*loopLen + pos)
+}
+
+// loopCorner is the starting position of process i: corner (i mod 3).
+func loopCorner(i int) int { return 2 * (i % 3) }
+
+// loopAdjacent reports whether two hexagon positions span a vertex or a
+// single edge of the loop.
+func loopAdjacent(p, q int) bool {
+	if p == q {
+		return true
+	}
+	d := p - q
+	if d < 0 {
+		d = -d
+	}
+	return d == 1 || d == loopLen-1
+}
+
+// loopAllowed returns the positions reachable under carrier σ: the
+// corners of σ's inputs plus, for multi-corner carriers, the connecting
+// arcs (the carrier map Δ of loop agreement sends a face of the input
+// simplex to the subcomplex of the loop spanned by its corners).
+func loopAllowed(carrier sc.Simplex) [loopLen]bool {
+	var corners [3]bool
+	count := 0
+	for _, v := range carrier {
+		c := loopCorner(int(v))
+		if !corners[c/2] {
+			corners[c/2] = true
+			count++
+		}
+	}
+	var allowed [loopLen]bool
+	switch count {
+	case 3:
+		for p := range allowed {
+			allowed[p] = true
+		}
+	case 2:
+		// The arc between the two corners, through their shared
+		// midpoint: corners {0,2}→{0,1,2}, {2,4}→{2,3,4}, {4,0}→{4,5,0}.
+		for a := 0; a < 3; a++ {
+			b := (a + 1) % 3
+			if corners[a] && corners[b] {
+				allowed[2*a] = true
+				allowed[2*a+1] = true
+				allowed[2*b] = true
+			}
+		}
+	default:
+		for c := 0; c < 3; c++ {
+			if corners[c] {
+				allowed[2*c] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// LoopAgreement builds the hexagon loop-agreement task for n processes:
+// outputs are positions on the 6-cycle, jointly spanning at most one
+// edge, each within the arc determined by the decider's carrier.
+func LoopAgreement(n int) *Task {
+	out := sc.NewComplex(n)
+	for c := 0; c < n; c++ {
+		for p := 0; p < loopLen; p++ {
+			_ = out.AddVertex(loopVertexID(n, c, p), c, fmt.Sprintf("%v:pos=%d", procs.ID(c), p))
+		}
+	}
+	// Facets: total assignments landing on a single position or a
+	// single edge of the loop.
+	addFacet := func(positions []int) {
+		var rec func(assign []int, at int)
+		rec = func(assign []int, at int) {
+			if at == n {
+				ids := make([]sc.VertexID, n)
+				for c, p := range assign {
+					ids[c] = loopVertexID(n, c, p)
+				}
+				_ = out.AddSimplex(ids...)
+				return
+			}
+			for _, p := range positions {
+				assign[at] = p
+				rec(assign, at+1)
+			}
+		}
+		rec(make([]int, n), 0)
+	}
+	for p := 0; p < loopLen; p++ {
+		addFacet([]int{p, (p + 1) % loopLen})
+	}
+
+	pos := func(o sc.VertexID) int { return int(o) % loopLen }
+	return &Task{
+		Name:   fmt.Sprintf("loop-agreement(n=%d)", n),
+		N:      n,
+		Input:  StandardInput(n),
+		Output: out,
+		VertexAllowed: func(carrier sc.Simplex, o sc.VertexID) bool {
+			return loopAllowed(carrier)[pos(o)]
+		},
+		SimplexAllowed: func(_ sc.Simplex, img sc.Simplex) bool {
+			for i := 0; i < len(img); i++ {
+				for j := i + 1; j < len(img); j++ {
+					if !loopAdjacent(pos(img[i]), pos(img[j])) {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+}

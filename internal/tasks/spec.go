@@ -1,0 +1,233 @@
+package tasks
+
+// Task specs: a registered, serializable task identity. A Spec is a
+// kind plus integer parameters (`kset:k=2`, `approx:eps=1`,
+// `loop-agreement`) that every layer — census options, JSONL entries,
+// checkpoint fingerprints, store manifests, the v1 API, the fabric
+// lease protocol — can carry as a short canonical string, and that the
+// registry turns back into a concrete *Task for a given system size n.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/affine"
+	"repro/internal/chromatic"
+)
+
+// ErrBadSpec reports a malformed or unregistered task spec.
+var ErrBadSpec = errors.New("invalid task spec")
+
+// Spec identifies a registered task kind with its integer parameters.
+// The zero value is not a valid spec; build one with ParseSpec or
+// KSetSpec. Specs compare by their canonical String form.
+type Spec struct {
+	Kind   string
+	Params map[string]int
+}
+
+// paramDef declares one integer parameter of a task kind: its name, the
+// default applied when the spec omits it, and its inclusive range.
+type paramDef struct {
+	name     string
+	def      int
+	min, max int
+}
+
+// kindDef is one registry entry: the declared parameters (in canonical
+// String order) and the builder producing the concrete task for n.
+type kindDef struct {
+	params []paramDef
+	build  func(n int, p map[string]int) (*Task, error)
+}
+
+// registry maps spec kinds to their definitions. Kinds are fixed at
+// compile time; the map is read-only after init.
+var registry = map[string]kindDef{
+	"kset": {
+		params: []paramDef{{name: "k", def: 1, min: 1, max: 1 << 20}},
+		build: func(n int, p map[string]int) (*Task, error) {
+			return KSetConsensus(n, p["k"]), nil
+		},
+	},
+	"consensus": {
+		build: func(n int, p map[string]int) (*Task, error) {
+			return Consensus(n), nil
+		},
+	},
+	"identity": {
+		build: func(n int, p map[string]int) (*Task, error) {
+			return TrivialIdentity(n), nil
+		},
+	},
+	"loop-agreement": {
+		build: func(n int, p map[string]int) (*Task, error) {
+			return LoopAgreement(n), nil
+		},
+	},
+	"approx": {
+		params: []paramDef{{name: "eps", def: 1, min: 0, max: 1 << 20}},
+		build: func(n int, p map[string]int) (*Task, error) {
+			return ApproxAgreement(n, p["eps"]), nil
+		},
+	},
+	"simplex-agreement": {
+		// Simplex agreement on the wait-free affine task R_{A_WF}: the
+		// goal complex is fixed per n, independent of the adversary
+		// under test. Built over a private universe so the task's
+		// vertex ids never alias the sweep's shared universe.
+		build: func(n int, p map[string]int) (*Task, error) {
+			u := chromatic.NewUniverse(n)
+			ra, err := affine.BuildRAForAdversary(u, adversary.WaitFree(n), affine.DefaultVariant)
+			if err != nil {
+				return nil, fmt.Errorf("simplex-agreement: %w", err)
+			}
+			return SimplexAgreement(ra), nil
+		},
+	},
+}
+
+// RegisteredKinds returns the spec kinds the registry knows, sorted.
+func RegisteredKinds() []string {
+	kinds := make([]string, 0, len(registry))
+	for k := range registry {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// KSetSpec is the spec of the classic sweep: k-set consensus.
+func KSetSpec(k int) Spec {
+	if k < 1 {
+		k = 1
+	}
+	return Spec{Kind: "kset", Params: map[string]int{"k": k}}
+}
+
+// ParseSpec parses `kind[:key=val[,key=val...]]` against the registry,
+// applying declared defaults and range checks. The result round-trips:
+// ParseSpec(s).String() parses back to an equal spec.
+func ParseSpec(s string) (Spec, error) {
+	kind := s
+	rest := ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		kind, rest = s[:i], s[i+1:]
+	}
+	def, ok := registry[kind]
+	if !ok {
+		return Spec{}, fmt.Errorf("%w: unknown kind %q (registered: %s)",
+			ErrBadSpec, kind, strings.Join(RegisteredKinds(), ", "))
+	}
+	params := make(map[string]int)
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			eq := strings.IndexByte(kv, '=')
+			if eq <= 0 {
+				return Spec{}, fmt.Errorf("%w: %q: want key=value, got %q", ErrBadSpec, s, kv)
+			}
+			name, valStr := kv[:eq], kv[eq+1:]
+			v, err := strconv.Atoi(valStr)
+			if err != nil {
+				return Spec{}, fmt.Errorf("%w: %q: parameter %s is not an integer", ErrBadSpec, s, name)
+			}
+			if _, dup := params[name]; dup {
+				return Spec{}, fmt.Errorf("%w: %q: duplicate parameter %s", ErrBadSpec, s, name)
+			}
+			declared := false
+			for _, pd := range def.params {
+				if pd.name == name {
+					declared = true
+					if v < pd.min || v > pd.max {
+						return Spec{}, fmt.Errorf("%w: %q: %s=%d out of range [%d, %d]",
+							ErrBadSpec, s, name, v, pd.min, pd.max)
+					}
+				}
+			}
+			if !declared {
+				return Spec{}, fmt.Errorf("%w: %q: kind %s has no parameter %s", ErrBadSpec, s, kind, name)
+			}
+			params[name] = v
+		}
+	}
+	for _, pd := range def.params {
+		if _, ok := params[pd.name]; !ok {
+			params[pd.name] = pd.def
+		}
+	}
+	return Spec{Kind: kind, Params: params}, nil
+}
+
+// String renders the canonical form: the kind followed by every
+// declared parameter in declaration order (defaults included, so equal
+// specs always render identically).
+func (s Spec) String() string {
+	def, ok := registry[s.Kind]
+	if !ok || len(def.params) == 0 {
+		return s.Kind
+	}
+	var b strings.Builder
+	b.WriteString(s.Kind)
+	for i, pd := range def.params {
+		v, present := s.Params[pd.name]
+		if !present {
+			v = pd.def
+		}
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", pd.name, v)
+	}
+	return b.String()
+}
+
+// Param returns the named parameter, or the registered default when the
+// spec omits it.
+func (s Spec) Param(name string) int {
+	if v, ok := s.Params[name]; ok {
+		return v
+	}
+	for _, pd := range registry[s.Kind].params {
+		if pd.name == name {
+			return pd.def
+		}
+	}
+	return 0
+}
+
+// IsKSet reports whether the spec is the classic k-set consensus sweep
+// — the compatibility path whose serialized forms (JSONL entries,
+// checkpoint fingerprints) predate task specs and must stay unchanged.
+func (s Spec) IsKSet() bool { return s.Kind == "kset" }
+
+// Build constructs the concrete task for an n-process system.
+func (s Spec) Build(n int) (*Task, error) {
+	def, ok := registry[s.Kind]
+	if !ok {
+		return Spec{}.buildUnknown(s.Kind)
+	}
+	p := make(map[string]int, len(def.params))
+	for _, pd := range def.params {
+		v, present := s.Params[pd.name]
+		if !present {
+			v = pd.def
+		}
+		if v < pd.min || v > pd.max {
+			return nil, fmt.Errorf("%w: %s: %s=%d out of range [%d, %d]",
+				ErrBadSpec, s.Kind, pd.name, v, pd.min, pd.max)
+		}
+		p[pd.name] = v
+	}
+	return def.build(n, p)
+}
+
+func (Spec) buildUnknown(kind string) (*Task, error) {
+	return nil, fmt.Errorf("%w: unknown kind %q (registered: %s)",
+		ErrBadSpec, kind, strings.Join(RegisteredKinds(), ", "))
+}

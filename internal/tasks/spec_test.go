@@ -1,0 +1,192 @@
+package tasks
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sc"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in        string
+		canonical string
+	}{
+		{"kset", "kset:k=1"},
+		{"kset:k=1", "kset:k=1"},
+		{"kset:k=2", "kset:k=2"},
+		{"consensus", "consensus"},
+		{"identity", "identity"},
+		{"loop-agreement", "loop-agreement"},
+		{"approx", "approx:eps=1"},
+		{"approx:eps=0", "approx:eps=0"},
+		{"approx:eps=2", "approx:eps=2"},
+		{"simplex-agreement", "simplex-agreement"},
+	}
+	for _, c := range cases {
+		spec, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got := spec.String(); got != c.canonical {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", c.in, got, c.canonical)
+		}
+		// parse → String → parse is a fixed point.
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", spec.String(), err)
+		}
+		if again.String() != c.canonical {
+			t.Errorf("round trip of %q drifted to %q", c.in, again.String())
+		}
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	bad := []string{
+		"",                 // empty kind
+		"hyperloop",        // unknown kind
+		"kset:k",           // missing value
+		"kset:k=two",       // non-integer
+		"kset:k=0",         // below range
+		"kset:j=1",         // undeclared parameter
+		"kset:k=1,k=2",     // duplicate parameter
+		"approx:eps=-1",    // below range
+		"loop-agreement:x", // params on a parameterless kind
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseSpec(%q) = %v, want ErrBadSpec", s, err)
+		}
+	}
+}
+
+func TestSpecBuildUnknownKind(t *testing.T) {
+	if _, err := (Spec{Kind: "hyperloop"}).Build(3); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("Build of unknown kind = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestSpecBuildMatchesConstructors(t *testing.T) {
+	for _, c := range []struct {
+		spec string
+		want string
+	}{
+		{"kset:k=2", "2-set-consensus(n=3)"},
+		{"consensus", "consensus(n=3)"},
+		{"identity", "identity(n=3)"},
+		{"loop-agreement", "loop-agreement(n=3)"},
+		{"approx:eps=1", "approx-agreement(n=3,eps=1)"},
+	} {
+		spec, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := spec.Build(3)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", c.spec, err)
+		}
+		if task.Name != c.want {
+			t.Errorf("Build(%q).Name = %q, want %q", c.spec, task.Name, c.want)
+		}
+		if err := task.Validate(); err != nil {
+			t.Errorf("Build(%q): invalid task: %v", c.spec, err)
+		}
+	}
+}
+
+func TestKSetSpec(t *testing.T) {
+	if got := KSetSpec(2).String(); got != "kset:k=2" {
+		t.Errorf("KSetSpec(2) = %q", got)
+	}
+	if !KSetSpec(2).IsKSet() {
+		t.Errorf("KSetSpec must report IsKSet")
+	}
+	if KSetSpec(0).Param("k") != 1 {
+		t.Errorf("KSetSpec clamps k to 1")
+	}
+	spec, _ := ParseSpec("loop-agreement")
+	if spec.IsKSet() {
+		t.Errorf("loop-agreement must not report IsKSet")
+	}
+}
+
+func TestLoopAgreementTask(t *testing.T) {
+	task := LoopAgreement(3)
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 6 edges × 2³ assignments, minus the 6 constant assignments each
+	// counted in two adjacent edges: 42 top facets.
+	top := 0
+	for _, f := range task.Output.Facets() {
+		if f.Dim() == 2 {
+			top++
+		}
+	}
+	if top != 42 {
+		t.Errorf("loop agreement n=3 output facets = %d, want 42", top)
+	}
+	// Solo carrier {p1}: only its own corner (position 0) is allowed.
+	solo := sc.NewSimplex(0)
+	if !task.VertexAllowed(solo, sc.VertexID(0*loopLen+0)) {
+		t.Errorf("solo run must allow its own corner")
+	}
+	if task.VertexAllowed(solo, sc.VertexID(0*loopLen+1)) {
+		t.Errorf("solo run must not reach a midpoint")
+	}
+	// Two corners {p1, p2} (corners 0 and 2): the arc {0,1,2} opens up,
+	// the far side of the loop stays closed.
+	two := sc.NewSimplex(0, 1)
+	for p := 0; p < loopLen; p++ {
+		want := p <= 2
+		if got := task.VertexAllowed(two, sc.VertexID(0*loopLen+p)); got != want {
+			t.Errorf("two-corner carrier, position %d: allowed=%v want %v", p, got, want)
+		}
+	}
+	// Joint decisions: one edge is fine, a spread of two edges is not.
+	ok := sc.NewSimplex(sc.VertexID(0*loopLen+0), sc.VertexID(1*loopLen+1))
+	if !task.SimplexAllowed(sc.NewSimplex(0, 1, 2), ok) {
+		t.Errorf("an edge of the loop must be jointly decidable")
+	}
+	far := sc.NewSimplex(sc.VertexID(0*loopLen+0), sc.VertexID(1*loopLen+2))
+	if task.SimplexAllowed(sc.NewSimplex(0, 1, 2), far) {
+		t.Errorf("positions 0 and 2 span two edges and must be rejected")
+	}
+}
+
+func TestApproxAgreementTask(t *testing.T) {
+	task := ApproxAgreement(3, 1)
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Windows [0,1] and [1,2]: 8 assignments each, all-1 shared: 15.
+	top := 0
+	for _, f := range task.Output.Facets() {
+		if f.Dim() == 2 {
+			top++
+		}
+	}
+	if top != 15 {
+		t.Errorf("approx n=3 eps=1 output facets = %d, want 15", top)
+	}
+	// Validity: outputs outside the carrier's input range are invalid.
+	carrier := sc.NewSimplex(0, 1) // inputs 0 and 1
+	if task.VertexAllowed(carrier, sc.VertexID(0*3+2)) {
+		t.Errorf("value 2 is outside the carrier range [0,1]")
+	}
+	if !task.VertexAllowed(carrier, sc.VertexID(0*3+1)) {
+		t.Errorf("value 1 is inside the carrier range")
+	}
+	// Agreement: spread 2 violates eps=1.
+	wide := sc.NewSimplex(sc.VertexID(0*3+0), sc.VertexID(1*3+2))
+	if task.SimplexAllowed(sc.NewSimplex(0, 1, 2), wide) {
+		t.Errorf("spread 2 must violate eps=1")
+	}
+	// eps=0 degenerates to consensus-style agreement.
+	exact := ApproxAgreement(2, 0)
+	mixed := sc.NewSimplex(sc.VertexID(0*2+0), sc.VertexID(1*2+1))
+	if exact.SimplexAllowed(sc.NewSimplex(0, 1), mixed) {
+		t.Errorf("eps=0 must force equal outputs")
+	}
+}
